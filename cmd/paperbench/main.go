@@ -1,0 +1,69 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (§VIII):
+//
+//	paperbench -exp fig3              # one experiment at laptop scale
+//	paperbench -exp all -scale paper  # the full suite at paper scale
+//	paperbench -list                  # enumerate experiments
+//
+// Performance figures combine real measured runs at laptop sizes with
+// machine-simulated runs at the paper's sizes; statistical figures run the
+// real estimation pipeline end to end (see EXPERIMENTS.md for the scale
+// substitutions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/exprt"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (fig2..fig9, table1, table2, ablation, all)")
+		scale   = flag.String("scale", "small", "experiment scale: small | paper")
+		workers = flag.Int("workers", runtime.NumCPU(), "runtime worker count")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exprt.Experiments {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+	switch *scale {
+	case "small":
+		opts.Scale = exprt.ScaleSmall
+	case "paper":
+		opts.Scale = exprt.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	var err error
+	if *exp == "all" {
+		err = exprt.RunAll(opts)
+	} else {
+		var e exprt.Experiment
+		e, err = exprt.ByName(*exp)
+		if err == nil {
+			fmt.Printf("========== %s — %s ==========\n", e.Name, e.Title)
+			err = e.Run(opts)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[completed in %s]\n", time.Since(t0).Round(time.Millisecond))
+}

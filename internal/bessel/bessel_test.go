@@ -1,0 +1,184 @@
+package bessel
+
+import (
+	"math"
+	"testing"
+)
+
+// kQuad evaluates K_ν(x) by numerically integrating the representation
+// K_ν(x) = ∫₀^∞ exp(−x·cosh t)·cosh(νt) dt with composite Simpson. It is an
+// independent cross-check for fractional orders with no closed form.
+func kQuad(nu, x float64) float64 {
+	// The integrand decays like exp(−x·e^t/2); cut when it is negligible.
+	tMax := 1.0
+	for math.Exp(-x*math.Cosh(tMax))*math.Cosh(nu*tMax) > 1e-20 {
+		tMax += 0.5
+		if tMax > 60 {
+			break
+		}
+	}
+	n := 20000 // even
+	h := tMax / float64(n)
+	f := func(t float64) float64 { return math.Exp(-x*math.Cosh(t)) * math.Cosh(nu*t) }
+	sum := f(0) + f(tMax)
+	for i := 1; i < n; i++ {
+		w := 4.0
+		if i%2 == 0 {
+			w = 2.0
+		}
+		sum += w * f(float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestKReferenceValues(t *testing.T) {
+	// High-precision reference values (Abramowitz & Stegun / mpmath).
+	cases := []struct {
+		nu, x, want float64
+	}{
+		{0, 1, 0.42102443824070833333562737921260903614},
+		{1, 1, 0.60190723019723457473754000153561733926},
+		{0, 2, 0.11389387274953343565271957493248183299},
+		{1, 2, 0.13986588181652242728459880703541102785},
+		{0, 0.1, 2.4270690247020166125137723582507797191},
+		{1, 0.1, 9.8538447808706064},
+	}
+	for _, c := range cases {
+		got := K(c.nu, c.x)
+		if relErr(got, c.want) > 1e-11 {
+			t.Errorf("K(%g, %g) = %.16g, want %.16g (rel err %g)", c.nu, c.x, got, c.want, relErr(got, c.want))
+		}
+	}
+}
+
+func TestKHalfIntegerClosedForms(t *testing.T) {
+	// K_{1/2}(x) = sqrt(pi/(2x)) e^{-x}
+	// K_{3/2}(x) = K_{1/2}(x) (1 + 1/x)
+	// K_{5/2}(x) = K_{1/2}(x) (1 + 3/x + 3/x^2)
+	for _, x := range []float64{0.05, 0.3, 1, 1.9, 2, 2.1, 5, 20, 100} {
+		base := math.Sqrt(math.Pi/(2*x)) * math.Exp(-x)
+		checks := []struct {
+			nu, want float64
+		}{
+			{0.5, base},
+			{1.5, base * (1 + 1/x)},
+			{2.5, base * (1 + 3/x + 3/(x*x))},
+		}
+		for _, c := range checks {
+			got := K(c.nu, x)
+			if relErr(got, c.want) > 1e-10 {
+				t.Errorf("K(%g, %g) = %g, want %g (rel %g)", c.nu, x, got, c.want, relErr(got, c.want))
+			}
+		}
+	}
+}
+
+func TestKFractionalOrderAgainstQuadrature(t *testing.T) {
+	for _, nu := range []float64{0.1, 0.3, 0.7, 1.2, 1.7, 2.3} {
+		for _, x := range []float64{0.2, 0.9, 1.5, 2.5, 4, 8} {
+			got := K(nu, x)
+			want := kQuad(nu, x)
+			if relErr(got, want) > 1e-8 {
+				t.Errorf("K(%g, %g) = %g, quadrature %g (rel %g)", nu, x, got, want, relErr(got, want))
+			}
+		}
+	}
+}
+
+func TestKRecurrence(t *testing.T) {
+	// K_{nu+1}(x) = K_{nu-1}(x) + (2 nu / x) K_nu(x)
+	for _, nu := range []float64{0.4, 0.5, 1.0, 1.3, 2.5} {
+		for _, x := range []float64{0.5, 1.5, 1.999, 2.001, 3, 10, 50} {
+			lhs := K(nu+1, x)
+			rhs := K(nu-1, x) + (2*nu/x)*K(nu, x)
+			if relErr(lhs, rhs) > 1e-9 {
+				t.Errorf("recurrence fails at nu=%g x=%g: %g vs %g", nu, x, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestKContinuityAcrossAlgorithmSwitch(t *testing.T) {
+	// The Temme/CF2 switch at x = 2 must not introduce a jump.
+	for _, nu := range []float64{0, 0.25, 0.5, 1, 1.75} {
+		lo := K(nu, 2-1e-9)
+		hi := K(nu, 2+1e-9)
+		if relErr(lo, hi) > 1e-7 {
+			t.Errorf("discontinuity at x=2 for nu=%g: %g vs %g", nu, lo, hi)
+		}
+	}
+}
+
+func TestKScaledConsistency(t *testing.T) {
+	for _, nu := range []float64{0, 0.5, 1.2} {
+		for _, x := range []float64{0.5, 1, 3, 30, 200} {
+			got := KScaled(nu, x)
+			want := K(nu, x) * math.Exp(x)
+			if x <= 200 && relErr(got, want) > 1e-9 {
+				t.Errorf("KScaled(%g,%g) = %g, want %g", nu, x, got, want)
+			}
+		}
+	}
+	// At very large x, K underflows but KScaled stays finite and near the
+	// asymptotic sqrt(pi/2x).
+	v := KScaled(0.5, 800)
+	want := math.Sqrt(math.Pi / (2 * 800))
+	if relErr(v, want) > 1e-10 {
+		t.Errorf("KScaled asymptotic: %g want %g", v, want)
+	}
+}
+
+func TestKMonotoneDecreasingInX(t *testing.T) {
+	for _, nu := range []float64{0, 0.5, 1, 2} {
+		prev := math.Inf(1)
+		for x := 0.1; x < 20; x += 0.37 {
+			v := K(nu, x)
+			if v >= prev {
+				t.Fatalf("K(%g, ·) not strictly decreasing at x=%g", nu, x)
+			}
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("K(%g, %g) = %g not positive", nu, x, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestKEdgeCases(t *testing.T) {
+	if !math.IsInf(K(0.5, 0), 1) {
+		t.Error("K at x=0 should be +Inf")
+	}
+	if !math.IsInf(K(1, -1), 1) {
+		t.Error("K at negative x should be +Inf (divergent domain)")
+	}
+	if !math.IsNaN(K(-0.5, 1)) {
+		t.Error("negative order should return NaN")
+	}
+}
+
+func TestGammaHelpers(t *testing.T) {
+	if relErr(Gamma(0.5), math.Sqrt(math.Pi)) > 1e-14 {
+		t.Error("Gamma(1/2) wrong")
+	}
+	if relErr(LogGamma(10), math.Log(362880)) > 1e-12 {
+		t.Error("LogGamma(10) wrong")
+	}
+	// Temme helpers: at mu=0, gam1 = Euler's constant and gam2 = 1.
+	g1, g2, gp, gm := gammaTemme(0)
+	if relErr(g1, -euler) > 1e-12 || relErr(g2, 1) > 1e-12 || gp != 1 || gm != 1 {
+		t.Errorf("gammaTemme(0) = %g %g %g %g", g1, g2, gp, gm)
+	}
+	// Smoothness across the small-mu switch at 1e-5.
+	a1, _, _, _ := gammaTemme(1e-5 * 0.99)
+	b1, _, _, _ := gammaTemme(1e-5 * 1.01)
+	if math.Abs(a1-b1) > 1e-10 {
+		t.Errorf("gammaTemme discontinuous near switch: %g vs %g", a1, b1)
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cov"
+)
+
+func testTheta() cov.Params { return cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5} }
+
+// small calibration shared across tests (real SVD compressions, so keep it
+// modest).
+var testModel = CalibrateRankModel(1e-7, testTheta(), 1024, 128)
+
+func TestSquarishGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1:    {1, 1},
+		4:    {2, 2},
+		6:    {2, 3},
+		256:  {16, 16},
+		1024: {32, 32},
+		7:    {1, 7},
+	}
+	for n, want := range cases {
+		p, q := squarish(n)
+		if p != want[0] || q != want[1] {
+			t.Errorf("squarish(%d) = %d,%d want %v", n, p, q, want)
+		}
+		if p*q != n {
+			t.Errorf("squarish(%d) does not factor", n)
+		}
+	}
+}
+
+func TestOwnerBlockCyclic(t *testing.T) {
+	m := NewMachine(ShaheenNode, 6) // 2x3 grid
+	seen := make(map[int]bool)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			o := m.Owner(i, j)
+			if o < 0 || o >= 6 {
+				t.Fatalf("owner out of range: %d", o)
+			}
+			seen[o] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("block-cyclic did not use all nodes: %v", seen)
+	}
+	if m.Owner(0, 0) != m.Owner(2, 3) {
+		t.Fatal("cyclic periodicity broken")
+	}
+}
+
+func TestRankModelBasics(t *testing.T) {
+	// Ranks decrease (weakly) with tile distance and are within [1, nb].
+	prev := math.MaxInt
+	for _, d := range []int{1, 2, 4, 7} {
+		k := testModel.Rank(128, d)
+		if k < 1 || k > 128 {
+			t.Fatalf("rank out of bounds: %d", k)
+		}
+		if k > prev {
+			t.Fatalf("rank grew with distance: d=%d k=%d prev=%d", d, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestRankModelAccuracyOrdering(t *testing.T) {
+	loose := CalibrateRankModel(1e-3, testTheta(), 512, 128)
+	tight := CalibrateRankModel(1e-9, testTheta(), 512, 128)
+	if loose.Rank(128, 1) > tight.Rank(128, 1) {
+		t.Fatalf("looser accuracy should not need larger ranks: %d vs %d",
+			loose.Rank(128, 1), tight.Rank(128, 1))
+	}
+	if tight.Rank(128, 1) <= 2 {
+		t.Fatalf("tight-accuracy near-diagonal rank suspiciously small: %d", tight.Rank(128, 1))
+	}
+}
+
+func TestRankModelTileSizeScaling(t *testing.T) {
+	k1 := testModel.Rank(128, 2)
+	k2 := testModel.Rank(1024, 2)
+	if k2 < k1 {
+		t.Fatalf("rank should grow (logarithmically) with tile size: %d -> %d", k1, k2)
+	}
+	if k2 > 4*k1 {
+		t.Fatalf("rank growth with tile size too fast: %d -> %d", k1, k2)
+	}
+}
+
+func TestDenseSimFlopsMatchClosedForm(t *testing.T) {
+	m := NewMachine(ShaheenNode, 4)
+	w := Workload{N: 1 << 15, NB: 512, Variant: Dense}
+	r := SimulateCholesky(m, w)
+	want := float64(w.N) * float64(w.N) * float64(w.N) / 3
+	if math.Abs(r.TotalFlops-want)/want > 0.05 {
+		t.Fatalf("dense sim flops %g vs n^3/3 = %g", r.TotalFlops, want)
+	}
+	if r.OOM || r.Seconds <= 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+}
+
+func TestSimScalesWithNodes(t *testing.T) {
+	w := Workload{N: 100_000, NB: 560, Variant: Dense}
+	t4 := SimulateCholesky(NewMachine(ShaheenNode, 4), w).Seconds
+	t16 := SimulateCholesky(NewMachine(ShaheenNode, 16), w).Seconds
+	if t16 >= t4 {
+		t.Fatalf("no strong scaling: 4 nodes %gs, 16 nodes %gs", t4, t16)
+	}
+	if t16 < t4/8 {
+		t.Fatalf("unrealistically superlinear scaling: %g -> %g", t4, t16)
+	}
+}
+
+func TestTLRFasterThanDenseAtScale(t *testing.T) {
+	m := NewMachine(ShaheenNode, 16)
+	n := 250_000
+	dense := SimulateCholesky(m, Workload{N: n, NB: 560, Variant: Dense})
+	tlr := SimulateCholesky(m, Workload{N: n, NB: 1900, Variant: TLRVariant, Accuracy: 1e-7, Ranks: testModel})
+	if dense.OOM || tlr.OOM {
+		t.Fatalf("unexpected OOM: dense=%v tlr=%v", dense.OOM, tlr.OOM)
+	}
+	if tlr.Seconds >= dense.Seconds {
+		t.Fatalf("TLR (%gs) not faster than dense (%gs) at n=%d", tlr.Seconds, dense.Seconds, n)
+	}
+	speedup := dense.Seconds / tlr.Seconds
+	if speedup > 100 {
+		t.Fatalf("speedup %g implausibly large — cost model broken", speedup)
+	}
+}
+
+func TestLooserAccuracyIsFaster(t *testing.T) {
+	m := NewMachine(ShaheenNode, 16)
+	n := 250_000
+	loose := CalibrateRankModel(1e-5, testTheta(), 1024, 128)
+	tight := CalibrateRankModel(1e-9, testTheta(), 1024, 128)
+	tl := SimulateCholesky(m, Workload{N: n, NB: 1900, Variant: TLRVariant, Ranks: loose}).Seconds
+	tt := SimulateCholesky(m, Workload{N: n, NB: 1900, Variant: TLRVariant, Ranks: tight}).Seconds
+	if tl > tt {
+		t.Fatalf("looser accuracy slower: 1e-5 %gs vs 1e-9 %gs", tl, tt)
+	}
+}
+
+func TestDenseOOMAtScale(t *testing.T) {
+	// 2M locations on 256 Shaheen nodes: dense working set (2×) exceeds
+	// 128 GB/node — the missing full-tile points of Fig. 4.
+	m := NewMachine(ShaheenNode, 256)
+	r := SimulateCholesky(m, Workload{N: 2_000_000, NB: 560, Variant: Dense})
+	if !r.OOM {
+		t.Fatalf("expected OOM for dense 2M on 256 nodes (max node bytes %d)", r.MaxNodeBytes)
+	}
+	// TLR at the same size fits.
+	rt := SimulateCholesky(m, Workload{N: 2_000_000, NB: 1900, Variant: TLRVariant, Ranks: testModel})
+	if rt.OOM {
+		t.Fatalf("TLR should fit at 2M/256 nodes (max node bytes %d)", rt.MaxNodeBytes)
+	}
+}
+
+func TestCoarseningCap(t *testing.T) {
+	w := Workload{N: 2_000_000, NB: 560, Variant: Dense}
+	nb, mt := w.effectiveTiling()
+	if mt > 128 {
+		t.Fatalf("coarsening cap not applied: mt=%d", mt)
+	}
+	if nb*mt < w.N {
+		t.Fatalf("coarsened tiling does not cover the matrix: %d*%d < %d", nb, mt, w.N)
+	}
+	w.MaxTileRows = 64
+	_, mt2 := w.effectiveTiling()
+	if mt2 != 64 {
+		t.Fatalf("explicit cap ignored: %d", mt2)
+	}
+}
+
+func TestSimulateBlockSlowerThanTile(t *testing.T) {
+	m := NewMachine(Haswell, 1)
+	n := 60_000
+	blk := SimulateBlockCholesky(m, n)
+	til := SimulateCholesky(m, Workload{N: n, NB: 560, Variant: Dense})
+	if blk.Seconds <= til.Seconds {
+		t.Fatalf("full-block (%gs) should be slower than full-tile (%gs)", blk.Seconds, til.Seconds)
+	}
+}
+
+func TestSimulatePredictionDominatedByCholesky(t *testing.T) {
+	m := NewMachine(ShaheenNode, 16)
+	w := Workload{N: 200_000, NB: 1900, Variant: TLRVariant, Ranks: testModel}
+	chol := SimulateCholesky(m, w)
+	pred := SimulatePrediction(m, w, 100)
+	if pred.Seconds < chol.Seconds {
+		t.Fatal("prediction cannot be faster than its factorization")
+	}
+	if pred.Seconds > 2*chol.Seconds {
+		t.Fatalf("solve phase should be small: chol %gs pred %gs", chol.Seconds, pred.Seconds)
+	}
+}
+
+func TestCommBytesNonzeroMultiNode(t *testing.T) {
+	w := Workload{N: 100_000, NB: 1000, Variant: Dense}
+	single := SimulateCholesky(NewMachine(ShaheenNode, 1), w)
+	multi := SimulateCholesky(NewMachine(ShaheenNode, 16), w)
+	if single.CommBytes != 0 {
+		t.Fatalf("single node should not communicate: %g", single.CommBytes)
+	}
+	if multi.CommBytes <= 0 {
+		t.Fatal("multi-node run reported zero communication")
+	}
+}
+
+func TestTLRWithoutRanksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for TLR workload without rank model")
+		}
+	}()
+	SimulateCholesky(NewMachine(ShaheenNode, 4), Workload{N: 10000, NB: 500, Variant: TLRVariant})
+}

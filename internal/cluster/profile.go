@@ -1,0 +1,126 @@
+// Package cluster simulates the execution of the tiled dense and TLR
+// Cholesky task DAGs on parallel machines: the shared-memory Intel servers
+// of paper Fig. 3 and the distributed-memory Cray XC40 Shaheen-2 of Figs. 4
+// and 5. It is the substitute for hardware this reproduction does not have.
+//
+// The simulator executes the genuine task DAG (same shape as the runtime
+// executes for real at laptop scale) under a machine model:
+//
+//   - per-node compute: a task occupies one core-slot for
+//     max(flops/rate, bytes/memory-bandwidth) seconds — the roofline that
+//     makes low-arithmetic-intensity TLR kernels memory-bound, reproducing
+//     the paper's tile-size discussion (§VIII-C);
+//   - 2D block-cyclic tile ownership across nodes; a task runs on the node
+//     owning its output tile and pays latency + size/bandwidth for each
+//     remote input;
+//   - per-node memory accounting; configurations whose working set exceeds
+//     node memory report OOM — the "missing points" of Fig. 4.
+//
+// At paper scale the true tile grid would generate billions of tasks, so the
+// simulator coarsens the tile grid to at most MaxTileRows rows while keeping
+// total arithmetic faithful to the algorithm at the coarsened tile size (a
+// legitimate configuration of the same algorithm); ranks for TLR costing
+// come from a RankModel calibrated by really compressing Matérn tiles.
+package cluster
+
+// Profile describes one node type. Rates are effective (not peak) and were
+// set to give sensible absolute times; the reproduction targets relative
+// behaviour across modes and accuracies.
+type Profile struct {
+	Name string
+	// Cores per node.
+	Cores int
+	// GFlopsPerCore is the effective double-precision rate of one core on
+	// compute-bound BLAS3 (GF/s).
+	GFlopsPerCore float64
+	// MemBWGBs is the per-node memory bandwidth (GB/s) shared by its cores.
+	MemBWGBs float64
+	// MemGB is usable node memory (GB).
+	MemGB float64
+	// NetLatency (s) and NetBWGBs (GB/s) describe the interconnect; zero
+	// for shared-memory runs.
+	NetLatency float64
+	NetBWGBs   float64
+}
+
+// Shared-memory testbeds of Fig. 3 and the Shaheen-2 node of Figs. 4-5.
+// Core counts match the paper's §VIII-A hardware list; rates are effective
+// per-core DGEMM throughputs typical for those parts.
+var (
+	Haswell = Profile{
+		Name: "haswell", Cores: 36, GFlopsPerCore: 30, MemBWGBs: 120, MemGB: 256,
+	}
+	Broadwell = Profile{
+		Name: "broadwell", Cores: 28, GFlopsPerCore: 32, MemBWGBs: 130, MemGB: 256,
+	}
+	KNL = Profile{
+		Name: "knl", Cores: 64, GFlopsPerCore: 28, MemBWGBs: 400, MemGB: 192,
+	}
+	Skylake = Profile{
+		Name: "skylake", Cores: 56, GFlopsPerCore: 45, MemBWGBs: 220, MemGB: 384,
+	}
+	// ShaheenNode: dual-socket 16-core Haswell, 128 GB, Cray Aries.
+	ShaheenNode = Profile{
+		Name: "shaheen-node", Cores: 32, GFlopsPerCore: 30, MemBWGBs: 110, MemGB: 128,
+		NetLatency: 1.5e-6, NetBWGBs: 8,
+	}
+)
+
+// Machine is a collection of identical nodes arranged in a process grid.
+type Machine struct {
+	Profile Profile
+	// Nodes is the node count; GridP×GridQ must equal Nodes (NewMachine
+	// picks a near-square factorization).
+	Nodes        int
+	GridP, GridQ int
+	// SlotsPerNode bounds the number of simulated execution slots per node;
+	// slot speed is scaled so aggregate node throughput is preserved.
+	// Defaults to min(Cores, 8).
+	SlotsPerNode int
+}
+
+// NewMachine builds a machine with a near-square process grid.
+func NewMachine(p Profile, nodes int) Machine {
+	gp, gq := squarish(nodes)
+	slots := p.Cores
+	if slots > 8 {
+		slots = 8
+	}
+	return Machine{Profile: p, Nodes: nodes, GridP: gp, GridQ: gq, SlotsPerNode: slots}
+}
+
+func squarish(n int) (int, int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best, n / best
+}
+
+// slotRate returns the GF/s of one simulated slot.
+func (m Machine) slotRate() float64 {
+	return m.Profile.GFlopsPerCore * float64(m.Profile.Cores) / float64(m.slots())
+}
+
+// slotMemBW returns the memory bandwidth (bytes/s) available to one slot.
+func (m Machine) slotMemBW() float64 {
+	return m.Profile.MemBWGBs * 1e9 / float64(m.slots())
+}
+
+func (m Machine) slots() int {
+	if m.SlotsPerNode > 0 {
+		return m.SlotsPerNode
+	}
+	s := m.Profile.Cores
+	if s > 8 {
+		s = 8
+	}
+	return s
+}
+
+// Owner maps tile (i, j) to its node under 2D block-cyclic distribution.
+func (m Machine) Owner(i, j int) int {
+	return (i%m.GridP)*m.GridQ + j%m.GridQ
+}

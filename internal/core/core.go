@@ -1,0 +1,325 @@
+// Package core implements the paper's contribution: Gaussian maximum
+// likelihood estimation and prediction for large spatial datasets in three
+// computation modes —
+//
+//   - FullBlock: one dense matrix, LAPACK-style blocked Cholesky (the MKL
+//     baseline of Fig. 3);
+//   - FullTile: tile algorithms over the task runtime (the Chameleon path);
+//   - TLR: tile low-rank compression at a user accuracy (the HiCMA path).
+//
+// The log-likelihood (paper eq. 1) is
+//
+//	ℓ(θ) = −n/2·log 2π − 1/2·log|Σ(θ)| − 1/2·Zᵀ Σ(θ)⁻¹ Z,
+//
+// evaluated via a Cholesky factorization: log|Σ| = 2Σ log L_ii and
+// ZᵀΣ⁻¹Z = ‖L⁻¹Z‖². Prediction (paper eq. 4) solves Z₁ = Σ₁₂ Σ₂₂⁻¹ Z₂.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/optimize"
+)
+
+// Mode selects the computation technique.
+type Mode int
+
+// Computation modes (paper §VIII terminology).
+const (
+	FullBlock Mode = iota
+	FullTile
+	TLR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case FullBlock:
+		return "full-block"
+	case FullTile:
+		return "full-tile"
+	case TLR:
+		return "tlr"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config selects and tunes a computation mode.
+type Config struct {
+	Mode Mode
+	// TileSize is the tile edge nb for FullTile and TLR (default 128).
+	TileSize int
+	// Accuracy is the TLR compression threshold (default 1e-9); ignored by
+	// the dense modes.
+	Accuracy float64
+	// CompressorName selects the TLR compression backend ("svd" default,
+	// "rsvd", "aca").
+	CompressorName string
+	// Workers is the runtime worker count (default 1).
+	Workers int
+	// Nugget is added to the covariance diagonal for numerical stability
+	// (default 1e-9·θ₁).
+	Nugget float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TileSize <= 0 {
+		c.TileSize = 128
+	}
+	if c.Accuracy <= 0 {
+		c.Accuracy = 1e-9
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+func (c Config) nugget(variance float64) float64 {
+	if c.Nugget > 0 {
+		return c.Nugget
+	}
+	return 1e-9 * variance
+}
+
+// Problem is a spatial dataset: locations, one measurement per location, and
+// the distance metric the covariance operates under.
+type Problem struct {
+	Points []geom.Point
+	Z      []float64
+	Metric geom.Metric
+}
+
+// NewProblem bundles and validates a dataset, reordering locations and
+// measurements along the Morton curve (the ordering TLR compression needs;
+// it is harmless for the dense modes).
+func NewProblem(pts []geom.Point, z []float64, metric geom.Metric) (*Problem, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if len(pts) != len(z) {
+		return nil, fmt.Errorf("core: %d locations but %d measurements", len(pts), len(z))
+	}
+	perm := geom.MortonOrder(pts)
+	return &Problem{
+		Points: geom.ApplyPerm(pts, perm),
+		Z:      geom.ApplyPermFloat(z, perm),
+		Metric: metric,
+	}, nil
+}
+
+// N returns the number of observations.
+func (p *Problem) N() int { return len(p.Points) }
+
+// LikResult carries one likelihood evaluation with its diagnostics.
+type LikResult struct {
+	Value    float64 // ℓ(θ)
+	LogDet   float64
+	QuadForm float64 // Zᵀ Σ⁻¹ Z
+	// Bytes is the covariance storage the evaluation needed.
+	Bytes int64
+	// MaxRank/MeanRank describe the TLR compression (zero for dense modes).
+	MaxRank  int
+	MeanRank float64
+}
+
+// LogLikelihood evaluates ℓ(θ) for the problem under cfg.
+func LogLikelihood(p *Problem, theta cov.Params, cfg Config) (LikResult, error) {
+	if err := theta.Validate(); err != nil {
+		return LikResult{}, err
+	}
+	cfg = cfg.withDefaults()
+	n := p.N()
+	f, err := Factorize(p, theta, cfg)
+	if err != nil {
+		return LikResult{}, err
+	}
+	var res LikResult
+	res.Bytes = f.Bytes()
+	res.MaxRank, res.MeanRank = f.RankStats()
+	y := append([]float64(nil), p.Z...)
+	f.HalfSolve(y)
+	logDet := f.LogDet()
+	quad := la.Dot(y, y)
+	res.Value = -0.5*float64(n)*math.Log(2*math.Pi) - 0.5*logDet - 0.5*quad
+	res.LogDet = logDet
+	res.QuadForm = quad
+	return res, nil
+}
+
+// FitOptions controls the MLE search.
+type FitOptions struct {
+	// Start is the initial θ; zero fields are replaced by data-driven
+	// defaults (empirical variance, 0.1 range, 0.5 smoothness).
+	Start cov.Params
+	// Lower/Upper bound the search box; zero fields get broad defaults.
+	Lower, Upper cov.Params
+	// MaxEvals caps likelihood evaluations (default 300).
+	MaxEvals int
+	// TolX is the optimizer's parameter tolerance (default 1e-4).
+	TolX float64
+	// FixSmoothness pins θ₃ to Start.Smoothness instead of estimating it —
+	// common practice when the smoothness is known a priori.
+	FixSmoothness bool
+}
+
+// FitResult is the outcome of a maximum likelihood fit.
+type FitResult struct {
+	Theta cov.Params
+	LogL  float64
+	Evals int
+	// Converged reports the optimizer's convergence flag.
+	Converged bool
+}
+
+func (o FitOptions) withDefaults(p *Problem) FitOptions {
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 300
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-4
+	}
+	if o.Start.Variance <= 0 {
+		var s, s2 float64
+		for _, v := range p.Z {
+			s += v
+			s2 += v * v
+		}
+		n := float64(p.N())
+		o.Start.Variance = math.Max(s2/n-(s/n)*(s/n), 1e-3)
+	}
+	if o.Start.Range <= 0 {
+		o.Start.Range = 0.1
+	}
+	if o.Start.Smoothness <= 0 {
+		o.Start.Smoothness = 0.5
+	}
+	if o.Lower.Variance <= 0 {
+		o.Lower.Variance = 1e-3
+	}
+	if o.Lower.Range <= 0 {
+		o.Lower.Range = 1e-3
+	}
+	if o.Lower.Smoothness <= 0 {
+		o.Lower.Smoothness = 0.1
+	}
+	if o.Upper.Variance <= 0 {
+		o.Upper.Variance = 100 * o.Start.Variance
+	}
+	if o.Upper.Range <= 0 {
+		o.Upper.Range = 10
+	}
+	if o.Upper.Smoothness <= 0 {
+		o.Upper.Smoothness = 3
+	}
+	return o
+}
+
+// Fit estimates θ̂ by maximizing the log-likelihood with the derivative-free
+// optimizer. The search runs over log-transformed variance and range (their
+// scales span decades) and linear smoothness.
+func Fit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
+	cfg = cfg.withDefaults()
+	o := opts.withDefaults(p)
+
+	dim := 3
+	if o.FixSmoothness {
+		dim = 2
+	}
+	toTheta := func(x []float64) cov.Params {
+		t := cov.Params{
+			Variance: math.Exp(x[0]),
+			Range:    math.Exp(x[1]),
+		}
+		if o.FixSmoothness {
+			t.Smoothness = o.Start.Smoothness
+		} else {
+			t.Smoothness = x[2]
+		}
+		return t
+	}
+	lower := []float64{math.Log(o.Lower.Variance), math.Log(o.Lower.Range), o.Lower.Smoothness}[:dim]
+	upper := []float64{math.Log(o.Upper.Variance), math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
+	start := []float64{math.Log(o.Start.Variance), math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
+
+	var lastErr error
+	obj := func(x []float64) float64 {
+		lik, err := LogLikelihood(p, toTheta(x), cfg)
+		if err != nil {
+			lastErr = err
+			return math.Inf(1)
+		}
+		return -lik.Value
+	}
+	res, err := optimize.NelderMead(
+		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
+		start,
+		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
+	)
+	if err != nil {
+		return FitResult{}, err
+	}
+	if math.IsInf(res.F, 1) {
+		return FitResult{}, fmt.Errorf("core: every likelihood evaluation failed: %w", lastErr)
+	}
+	return FitResult{
+		Theta:     toTheta(res.X),
+		LogL:      -res.F,
+		Evals:     res.Evals,
+		Converged: res.Converged,
+	}, nil
+}
+
+// Predict imputes measurements at newPts from the fitted model (paper eq. 4):
+// Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂, with Σ₂₂ factored in the configured mode and the
+// (small) cross-covariance Σ₁₂ applied densely row by row.
+func Predict(p *Problem, newPts []geom.Point, theta cov.Params, cfg Config) ([]float64, error) {
+	if err := theta.Validate(); err != nil {
+		return nil, err
+	}
+	if len(newPts) == 0 {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	n := p.N()
+	m := len(newPts)
+	k := cov.NewKernel(theta)
+	f, err := Factorize(p, theta, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// y = Σ22⁻¹ Z2
+	y := append([]float64(nil), p.Z...)
+	f.Solve(y)
+
+	// Ẑ1 = Σ12 · y, assembled one row at a time to bound memory.
+	out := make([]float64, m)
+	cross := la.NewMat(1, n)
+	for i := 0; i < m; i++ {
+		k.Block(cross, newPts[i:i+1], p.Points, p.Metric)
+		out[i] = la.Dot(cross.Row(0), y)
+	}
+	return out, nil
+}
+
+// MSE returns the mean squared error between predictions and truth
+// (paper eq. 7).
+func MSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("core: MSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}

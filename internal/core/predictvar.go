@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+)
+
+// Prediction carries point predictions with their conditional uncertainty
+// (paper eq. 3: Z₁|Z₂ ~ N(Σ₁₂Σ₂₂⁻¹Z₂, Σ₁₁ − Σ₁₂Σ₂₂⁻¹Σ₂₁)).
+type Prediction struct {
+	// Mean is the kriging predictor Σ₁₂Σ₂₂⁻¹Z₂ per new location.
+	Mean []float64
+	// Variance is the conditional variance diag(Σ₁₁ − Σ₁₂Σ₂₂⁻¹Σ₂₁).
+	Variance []float64
+}
+
+// CI95 returns the half-width of the pointwise 95% prediction interval for
+// location i (1.96·σ).
+func (p Prediction) CI95(i int) float64 { return 1.96 * math.Sqrt(p.Variance[i]) }
+
+// PredictWithVariance computes the conditional mean AND variance at newPts
+// (paper eq. 3). It needs one factorization and one multi-right-hand-side
+// forward solve:
+//
+//	W = L⁻¹·Σ₂₁  (n×m),  y = L⁻¹·Z₂,
+//	mean_i = W[:,i]ᵀ·y,   var_i = C(0) − ‖W[:,i]‖².
+func PredictWithVariance(p *Problem, newPts []geom.Point, theta cov.Params, cfg Config) (Prediction, error) {
+	if err := theta.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if len(newPts) == 0 {
+		return Prediction{}, nil
+	}
+	cfg = cfg.withDefaults()
+	n := p.N()
+	m := len(newPts)
+	k := cov.NewKernel(theta)
+
+	f, err := Factorize(p, theta, cfg)
+	if err != nil {
+		return Prediction{}, err
+	}
+
+	// W = L⁻¹ Σ21 (n×m) and y = L⁻¹ Z in one half-solve each.
+	w := la.NewMat(n, m)
+	k.Block(w, p.Points, newPts, p.Metric)
+	f.HalfSolveMat(w)
+	y := append([]float64(nil), p.Z...)
+	f.HalfSolve(y)
+
+	pr := Prediction{Mean: make([]float64, m), Variance: make([]float64, m)}
+	c0 := k.At(0)
+	for i := 0; i < m; i++ {
+		var mean, norm2 float64
+		for r := 0; r < n; r++ {
+			wi := w.At(r, i)
+			mean += wi * y[r]
+			norm2 += wi * wi
+		}
+		pr.Mean[i] = mean
+		v := c0 - norm2
+		if v < 0 {
+			// clamp tiny negative values from approximation error
+			v = 0
+		}
+		pr.Variance[i] = v
+	}
+	return pr, nil
+}
+
+// CoverageCheck counts how many truths fall inside the pointwise 95%
+// prediction intervals — the calibration diagnostic for the conditional
+// variance. It returns the empirical coverage fraction.
+func CoverageCheck(pr Prediction, truth []float64) (float64, error) {
+	if len(truth) != len(pr.Mean) {
+		return 0, fmt.Errorf("core: coverage check length mismatch %d vs %d", len(truth), len(pr.Mean))
+	}
+	if len(truth) == 0 {
+		return 0, nil
+	}
+	inside := 0
+	for i, tv := range truth {
+		if math.Abs(tv-pr.Mean[i]) <= pr.CI95(i) {
+			inside++
+		}
+	}
+	return float64(inside) / float64(len(truth)), nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cov"
+	"repro/internal/optimize"
+)
+
+// ProfiledLogLikelihood evaluates the profile log-likelihood: the variance
+// θ₁ is concentrated out analytically. Writing Σ(θ) = θ₁·R(θ₂, θ₃) with R
+// the correlation matrix, the maximizing variance for fixed (θ₂, θ₃) is
+//
+//	θ̂₁ = Zᵀ R⁻¹ Z / n,
+//
+// and the profile log-likelihood becomes
+//
+//	ℓ_p(θ₂, θ₃) = −n/2·(log 2π + 1 + log θ̂₁) − 1/2·log|R|.
+//
+// This reduces the optimizer's search from 3 dimensions to 2 — the standard
+// concentrated-likelihood trick ExaGeoStat's drivers also expose.
+func ProfiledLogLikelihood(p *Problem, rangeP, smoothness float64, cfg Config) (logL float64, varianceHat float64, err error) {
+	theta := cov.Params{Variance: 1, Range: rangeP, Smoothness: smoothness}
+	if err := theta.Validate(); err != nil {
+		return 0, 0, err
+	}
+	cfg = cfg.withDefaults()
+	n := p.N()
+	k := cov.NewKernel(theta)
+	f, err := factorizeKernel(p, k, cfg, cfg.nugget(1))
+	if err != nil {
+		return 0, 0, err
+	}
+	y := append([]float64(nil), p.Z...)
+	f.HalfSolve(y)
+	var quad float64
+	for _, v := range y {
+		quad += v * v
+	}
+	varianceHat = quad / float64(n)
+	if varianceHat <= 0 {
+		return 0, 0, fmt.Errorf("core: degenerate profiled variance %g", varianceHat)
+	}
+	logL = -0.5*float64(n)*(math.Log(2*math.Pi)+1+math.Log(varianceHat)) - 0.5*f.LogDet()
+	return logL, varianceHat, nil
+}
+
+// ProfiledFit estimates θ̂ by maximizing the profile likelihood over
+// (θ₂, θ₃) and recovering θ̂₁ in closed form. It typically needs far fewer
+// likelihood evaluations than the full 3-parameter Fit for the same
+// accuracy (see the profiled-fit ablation benchmark).
+func ProfiledFit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
+	cfg = cfg.withDefaults()
+	o := opts.withDefaults(p)
+
+	dim := 2
+	if o.FixSmoothness {
+		dim = 1
+	}
+	lower := []float64{math.Log(o.Lower.Range), o.Lower.Smoothness}[:dim]
+	upper := []float64{math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
+	start := []float64{math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
+
+	smoothOf := func(x []float64) float64 {
+		if o.FixSmoothness {
+			return o.Start.Smoothness
+		}
+		return x[1]
+	}
+	var lastErr error
+	obj := func(x []float64) float64 {
+		ll, _, err := ProfiledLogLikelihood(p, math.Exp(x[0]), smoothOf(x), cfg)
+		if err != nil {
+			lastErr = err
+			return math.Inf(1)
+		}
+		return -ll
+	}
+	res, err := optimize.NelderMead(
+		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
+		start,
+		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
+	)
+	if err != nil {
+		return FitResult{}, err
+	}
+	if math.IsInf(res.F, 1) {
+		return FitResult{}, fmt.Errorf("core: every profiled evaluation failed: %w", lastErr)
+	}
+	rangeHat := math.Exp(res.X[0])
+	smoothHat := smoothOf(res.X)
+	ll, varHat, err := ProfiledLogLikelihood(p, rangeHat, smoothHat, cfg)
+	if err != nil {
+		return FitResult{}, err
+	}
+	return FitResult{
+		Theta:     cov.Params{Variance: varHat, Range: rangeHat, Smoothness: smoothHat},
+		LogL:      ll,
+		Evals:     res.Evals + 1,
+		Converged: res.Converged,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package cov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"matern", "powexp", "gaussian", "spherical"} {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != name {
+			t.Fatalf("round trip failed: %q -> %v", name, m)
+		}
+	}
+	if m, err := ModelByName(""); err != nil || m != Matern {
+		t.Fatal("empty name should default to Matérn")
+	}
+	if _, err := ModelByName("cauchy"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if err := PoweredExponential.ValidateFor(Params{1, 0.1, 2.5}); err == nil {
+		t.Fatal("powexp with θ3 > 2 should fail")
+	}
+	if err := PoweredExponential.ValidateFor(Params{1, 0.1, 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewModelKernel(GaussianModel, Params{0, 1, 1}); err == nil {
+		t.Fatal("invalid params should fail for any model")
+	}
+}
+
+func TestPoweredExponentialValues(t *testing.T) {
+	k, err := NewModelKernel(PoweredExponential, Params{Variance: 2, Range: 0.5, Smoothness: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ3 = 1 reduces to exponential
+	for _, r := range []float64{0.1, 0.5, 2} {
+		want := 2 * math.Exp(-r/0.5)
+		if math.Abs(k.At(r)-want) > 1e-14 {
+			t.Fatalf("powexp(θ3=1) at r=%g: %g want %g", r, k.At(r), want)
+		}
+	}
+	// θ3 = 2 reduces to Gaussian
+	k2, _ := NewModelKernel(PoweredExponential, Params{Variance: 1, Range: 0.5, Smoothness: 2})
+	kg, _ := NewModelKernel(GaussianModel, Params{Variance: 1, Range: 0.5, Smoothness: 1})
+	for _, r := range []float64{0.1, 0.4, 1} {
+		if math.Abs(k2.At(r)-kg.At(r)) > 1e-14 {
+			t.Fatalf("powexp(2) should equal gaussian at r=%g", r)
+		}
+	}
+}
+
+func TestSphericalCompactSupport(t *testing.T) {
+	k, err := NewModelKernel(Spherical, Params{Variance: 1, Range: 0.3, Smoothness: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.At(0) != 1 {
+		t.Fatal("C(0) must equal variance")
+	}
+	if k.At(0.31) != 0 || k.At(5) != 0 {
+		t.Fatal("spherical must vanish beyond the range")
+	}
+	if k.At(0.15) <= 0 || k.At(0.15) >= 1 {
+		t.Fatalf("interior value implausible: %g", k.At(0.15))
+	}
+	// monotone decreasing on [0, range]
+	prev := k.At(0)
+	for r := 0.02; r < 0.3; r += 0.02 {
+		v := k.At(r)
+		if v > prev {
+			t.Fatalf("spherical not decreasing at r=%g", r)
+		}
+		prev = v
+	}
+}
+
+func TestAllModelsSPD(t *testing.T) {
+	r := rng.New(31)
+	pts := geom.GeneratePerturbedGrid(49, r)
+	for _, model := range []Model{Matern, PoweredExponential, GaussianModel, Spherical} {
+		p := Params{Variance: 1, Range: 0.15, Smoothness: 0.8}
+		if model == PoweredExponential {
+			p.Smoothness = 1.5
+		}
+		k, err := NewModelKernel(model, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := la.NewMat(49, 49)
+		k.Matrix(sigma, pts, geom.Euclidean)
+		AddNugget(sigma, 1e-8)
+		if err := la.Potrf(sigma); err != nil {
+			t.Errorf("model %v covariance not SPD: %v", model, err)
+		}
+	}
+}
+
+func TestMaternKernelDefaultModel(t *testing.T) {
+	k := NewKernel(Params{Variance: 1, Range: 0.1, Smoothness: 0.5})
+	if k.Model() != Matern {
+		t.Fatal("NewKernel should default to the Matérn family")
+	}
+	km, err := NewModelKernel(Matern, Params{Variance: 1, Range: 0.1, Smoothness: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0, 0.05, 0.2, 1} {
+		if k.At(r) != km.At(r) {
+			t.Fatal("NewModelKernel(Matern) must match NewKernel")
+		}
+	}
+}
+
+func TestChordalMetricSPDSmoothMatern(t *testing.T) {
+	// Matérn with ν = 2.5 under the chordal metric stays SPD on the sphere
+	// (the motivation for the Chordal option).
+	r := rng.New(32)
+	pts := make([]geom.Point, 36)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Uniform(-180, 180), Y: r.Uniform(-85, 85)}
+	}
+	k := NewKernel(Params{Variance: 1, Range: 0.4, Smoothness: 2.5})
+	sigma := la.NewMat(36, 36)
+	k.Matrix(sigma, pts, geom.Chordal)
+	AddNugget(sigma, 1e-10)
+	if err := la.Potrf(sigma); err != nil {
+		t.Fatalf("chordal Matérn(2.5) not SPD: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package dataio provides the dataset and model persistence layer: CSV
+// files for spatial datasets (the format ExaGeoStat's drivers read) and a
+// JSON document for fitted models, so estimation results can be saved,
+// shared, and reloaded for prediction.
+package dataio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+)
+
+// Records is an on-disk spatial dataset: one measurement per location.
+type Records struct {
+	Points []geom.Point
+	Z      []float64
+}
+
+// WriteCSV writes the dataset as "x,y,z" rows with a header line.
+func WriteCSV(w io.Writer, r Records) error {
+	if len(r.Points) != len(r.Z) {
+		return fmt.Errorf("dataio: %d points but %d measurements", len(r.Points), len(r.Z))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("x,y,z\n"); err != nil {
+		return err
+	}
+	for i, p := range r.Points {
+		if _, err := fmt.Fprintf(bw, "%.17g,%.17g,%.17g\n", p.X, p.Y, r.Z[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any x,y,z CSV with an
+// optional header). Blank lines are skipped; malformed rows are reported
+// with their line number.
+func ReadCSV(r io.Reader) (Records, error) {
+	var out Records
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.Contains(strings.ToLower(line), "x") && !strings.ContainsAny(line, "0123456789") {
+			continue // header
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return Records{}, fmt.Errorf("dataio: line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		var vals [3]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return Records{}, fmt.Errorf("dataio: line %d field %d: %w", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		out.Points = append(out.Points, geom.Point{X: vals[0], Y: vals[1]})
+		out.Z = append(out.Z, vals[2])
+	}
+	if err := sc.Err(); err != nil {
+		return Records{}, err
+	}
+	if len(out.Points) == 0 {
+		return Records{}, errors.New("dataio: empty dataset")
+	}
+	return out, nil
+}
+
+// WriteCSVFile and ReadCSVFile are the path-based conveniences.
+func WriteCSVFile(path string, r Records) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, r); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSVFile reads a dataset from path.
+func ReadCSVFile(path string) (Records, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Records{}, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// Model is a fitted-model document.
+type Model struct {
+	// Kind is the covariance family name ("matern", …).
+	Kind string `json:"kind"`
+	// Theta is the estimated parameter vector.
+	Theta cov.Params `json:"theta"`
+	// Metric names the distance function ("euclidean", "greatcircle",
+	// "greatcircle-earth-100km", "chordal").
+	Metric string `json:"metric"`
+	// LogLikelihood at the estimate, and how it was computed.
+	LogLikelihood float64 `json:"loglik"`
+	Mode          string  `json:"mode"`
+	Accuracy      float64 `json:"accuracy,omitempty"`
+	N             int     `json:"n"`
+}
+
+var metricNames = map[geom.Metric]string{
+	geom.Euclidean:             "euclidean",
+	geom.GreatCircle:           "greatcircle",
+	geom.GreatCircleEarth100km: "greatcircle-earth-100km",
+	geom.Chordal:               "chordal",
+}
+
+// MetricName returns the canonical name of a metric.
+func MetricName(m geom.Metric) string {
+	if n, ok := metricNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+// MetricByName resolves a metric name.
+func MetricByName(name string) (geom.Metric, error) {
+	for m, n := range metricNames {
+		if n == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("dataio: unknown metric %q", name)
+}
+
+// SaveModel writes the model as indented JSON.
+func SaveModel(w io.Writer, m Model) error {
+	if err := m.Theta.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadModel parses a model document and validates it.
+func LoadModel(r io.Reader) (Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return Model{}, fmt.Errorf("dataio: %w", err)
+	}
+	if err := m.Theta.Validate(); err != nil {
+		return Model{}, err
+	}
+	if _, err := MetricByName(m.Metric); err != nil {
+		return Model{}, err
+	}
+	if _, err := cov.ModelByName(m.Kind); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// SaveModelFile and LoadModelFile are the path-based conveniences.
+func SaveModelFile(path string, m Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveModel(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile loads a model from path.
+func LoadModelFile(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Model{}, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -1,0 +1,137 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSoilMoistureShape(t *testing.T) {
+	ds, err := SoilMoisture(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Regions) != 8 {
+		t.Fatalf("want 8 regions, got %d", len(ds.Regions))
+	}
+	for i, r := range ds.Regions {
+		if len(r.Points) != 64 || len(r.Z) != 64 {
+			t.Fatalf("region %d sizes: %d points %d values", i, len(r.Points), len(r.Z))
+		}
+		if r.Truth != SoilTruth[i] {
+			t.Fatalf("region %d truth mismatch", i)
+		}
+		if r.Name == "" {
+			t.Fatal("unnamed region")
+		}
+	}
+	if ds.Metric != geom.Euclidean {
+		t.Fatal("soil should use planar distances")
+	}
+}
+
+func TestSoilRegionsDisjointInSpace(t *testing.T) {
+	ds, err := SoilMoisture(36, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// regions laid out on a 4×2 grid of 300 km squares: bounding boxes of
+	// different regions must not overlap
+	for i := range ds.Regions {
+		for j := i + 1; j < len(ds.Regions); j++ {
+			if overlap(ds.Regions[i].Points, ds.Regions[j].Points) {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func overlap(a, b []geom.Point) bool {
+	minA, maxA := bbox(a)
+	minB, maxB := bbox(b)
+	return minA.X < maxB.X && minB.X < maxA.X && minA.Y < maxB.Y && minB.Y < maxA.Y
+}
+
+func bbox(p []geom.Point) (lo, hi geom.Point) {
+	lo, hi = p[0], p[0]
+	for _, q := range p[1:] {
+		lo.X = math.Min(lo.X, q.X)
+		lo.Y = math.Min(lo.Y, q.Y)
+		hi.X = math.Max(hi.X, q.X)
+		hi.Y = math.Max(hi.Y, q.Y)
+	}
+	return
+}
+
+func TestWindSpeedShape(t *testing.T) {
+	ds, err := WindSpeed(49, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Regions) != 4 {
+		t.Fatalf("want 4 regions, got %d", len(ds.Regions))
+	}
+	if ds.Metric != geom.GreatCircleEarth100km {
+		t.Fatal("wind should use great-circle distances")
+	}
+	for _, r := range ds.Regions {
+		for _, p := range r.Points {
+			if p.X < 35 || p.X > 55 || p.Y < 10 || p.Y > 30 {
+				t.Fatalf("wind location outside Arabian Peninsula box: %+v", p)
+			}
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, err := SoilMoisture(25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SoilMoisture(25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Regions {
+		for j := range a.Regions[i].Z {
+			if a.Regions[i].Z[j] != b.Regions[i].Z[j] {
+				t.Fatal("same seed produced different fields")
+			}
+		}
+	}
+	c, err := SoilMoisture(25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Regions[0].Z[0] == c.Regions[0].Z[0] {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestFieldVarianceMatchesTruth(t *testing.T) {
+	// Empirical variance of each region should be in the ballpark of its
+	// generating θ1 (loose: one realization of a correlated field).
+	ds, err := SoilMoisture(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Regions {
+		var s2 float64
+		for _, v := range r.Z {
+			s2 += v * v
+		}
+		emp := s2 / float64(len(r.Z))
+		if emp < r.Truth.Variance/4 || emp > r.Truth.Variance*4 {
+			t.Errorf("region %s: empirical variance %.3g vs truth %.3g", r.Name, emp, r.Truth.Variance)
+		}
+	}
+}
+
+func TestWindFieldSPDUnderGCD(t *testing.T) {
+	// Generation itself requires the GCD covariance to be SPD; success of
+	// WindSpeed at a non-trivial size is the assertion.
+	if _, err := WindSpeed(256, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package exprt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, e := range Experiments {
+		got, err := ByName(e.Name)
+		if err != nil || got.Name != e.Name {
+			t.Fatalf("ByName(%q) failed: %v", e.Name, err)
+		}
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestExperimentsCoverEveryTableAndFigure(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "fig9", "ablation", "extensions"}
+	if len(Experiments) != len(want) {
+		t.Fatalf("experiment count %d, want %d", len(Experiments), len(want))
+	}
+	for i, name := range want {
+		if Experiments[i].Name != name {
+			t.Fatalf("experiment %d is %q, want %q", i, Experiments[i].Name, name)
+		}
+		if Experiments[i].Run == nil || Experiments[i].Title == "" {
+			t.Fatalf("experiment %q incomplete", name)
+		}
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(Options{Out: &buf, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"362 for MLE", "38 held out", "min pairwise distance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "o") {
+		t.Fatal("fig2 scatter missing markers")
+	}
+}
+
+func TestFig4OutputShape(t *testing.T) {
+	// fig4 is pure simulation and fast; verify the two machine sections and
+	// the series headers appear.
+	var buf bytes.Buffer
+	if err := Fig4(Options{Out: &buf, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"256 nodes", "1024 nodes", "full-tile", "tlr(1e-9)", "max TLR speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := indent("a\nb\n", "  "); got != "  a\n  b\n" {
+		t.Fatalf("indent wrong: %q", got)
+	}
+	if got := indent("tail", "> "); got != "> tail" {
+		t.Fatalf("indent without newline wrong: %q", got)
+	}
+}
+
+func TestFmtSecs(t *testing.T) {
+	cases := map[string]string{
+		fmtSecs(0.0001, false): "0.1ms",
+		fmtSecs(0.5, false):    "500ms",
+		fmtSecs(12.34, false):  "12.3s",
+		fmtSecs(1, true):       "OOM",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("fmtSecs: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestRegionPointsScales(t *testing.T) {
+	if regionPoints(ScaleSmall) >= regionPoints(ScalePaper) {
+		t.Fatal("paper scale should use more points")
+	}
+}

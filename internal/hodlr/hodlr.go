@@ -1,0 +1,162 @@
+// Package hodlr implements a Hierarchically Off-Diagonal Low-Rank matrix —
+// the recursive-partition alternative to the flat TLR format the paper's
+// related-work section (§II) discusses. It exists as a comparison baseline:
+// HODLR reaches better asymptotic compression on smooth kernels but carries
+// a recursive tree structure that is harder to schedule on distributed
+// machines, which is exactly the trade-off that led the paper to TLR.
+//
+// The package provides construction from a covariance kernel, storage
+// accounting, matrix reconstruction, and fast matrix-vector products — the
+// operations the format-comparison ablation needs.
+package hodlr
+
+import (
+	"fmt"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/tlr"
+)
+
+// Matrix is a symmetric HODLR matrix over index range [0, N).
+type Matrix struct {
+	N        int
+	LeafSize int
+	Tol      float64
+	root     *node
+}
+
+// node is one recursion level: either a dense leaf or a 2×2 split with a
+// compressed off-diagonal block (symmetric: the (2,1) block is stored, the
+// (1,2) block is its transpose).
+type node struct {
+	lo, hi int // global index range [lo, hi)
+	// leaf
+	dense *la.Mat
+	// internal
+	left, right *node
+	off         *tlr.CompTile // rows = right range, cols = left range
+}
+
+// Build assembles a HODLR representation of Σ(θ) over pts with the given
+// accuracy and leaf size, compressing each off-diagonal block with comp.
+func Build(k *cov.Kernel, pts []geom.Point, metric geom.Metric, leafSize int, tol float64, comp tlr.Compressor, nugget float64) *Matrix {
+	if leafSize < 2 {
+		panic("hodlr: leaf size must be at least 2")
+	}
+	m := &Matrix{N: len(pts), LeafSize: leafSize, Tol: tol}
+	m.root = build(k, pts, metric, 0, len(pts), leafSize, tol, comp, nugget)
+	return m
+}
+
+func build(k *cov.Kernel, pts []geom.Point, metric geom.Metric, lo, hi, leaf int, tol float64, comp tlr.Compressor, nugget float64) *node {
+	n := &node{lo: lo, hi: hi}
+	size := hi - lo
+	if size <= leaf {
+		d := la.NewMat(size, size)
+		k.Block(d, pts[lo:hi], pts[lo:hi], metric)
+		for a := 0; a < size; a++ {
+			d.Set(a, a, d.At(a, a)+nugget)
+		}
+		n.dense = d
+		return n
+	}
+	mid := lo + size/2
+	n.left = build(k, pts, metric, lo, mid, leaf, tol, comp, nugget)
+	n.right = build(k, pts, metric, mid, hi, leaf, tol, comp, nugget)
+	block := la.NewMat(hi-mid, mid-lo)
+	k.Block(block, pts[mid:hi], pts[lo:mid], metric)
+	n.off = comp.Compress(block, tol)
+	return n
+}
+
+// Bytes returns the storage footprint.
+func (m *Matrix) Bytes() int64 { return m.root.bytes() }
+
+func (n *node) bytes() int64 {
+	if n.dense != nil {
+		return int64(n.dense.Rows) * int64(n.dense.Cols) * 8
+	}
+	return n.left.bytes() + n.right.bytes() + n.off.Bytes()
+}
+
+// MaxRank returns the largest off-diagonal rank in the tree.
+func (m *Matrix) MaxRank() int { return m.root.maxRank() }
+
+func (n *node) maxRank() int {
+	if n.dense != nil {
+		return 0
+	}
+	k := n.off.Rank()
+	if l := n.left.maxRank(); l > k {
+		k = l
+	}
+	if r := n.right.maxRank(); r > k {
+		k = r
+	}
+	return k
+}
+
+// Levels returns the depth of the recursion tree.
+func (m *Matrix) Levels() int { return m.root.depth() }
+
+func (n *node) depth() int {
+	if n.dense != nil {
+		return 1
+	}
+	l, r := n.left.depth(), n.right.depth()
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// Dense reconstructs the full symmetric matrix (testing).
+func (m *Matrix) Dense() *la.Mat {
+	out := la.NewMat(m.N, m.N)
+	m.root.fill(out)
+	return out
+}
+
+func (n *node) fill(out *la.Mat) {
+	if n.dense != nil {
+		for a := 0; a < n.dense.Rows; a++ {
+			for b := 0; b < n.dense.Cols; b++ {
+				out.Set(n.lo+a, n.lo+b, n.dense.At(a, b))
+			}
+		}
+		return
+	}
+	n.left.fill(out)
+	n.right.fill(out)
+	blk := n.off.Dense()
+	mid := n.left.hi
+	for a := 0; a < blk.Rows; a++ {
+		for b := 0; b < blk.Cols; b++ {
+			out.Set(mid+a, n.lo+b, blk.At(a, b))
+			out.Set(n.lo+b, mid+a, blk.At(a, b))
+		}
+	}
+}
+
+// MatVec computes y += alpha·A·x in O(k·n·log n) using the tree.
+func (m *Matrix) MatVec(alpha float64, x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic(fmt.Sprintf("hodlr: matvec dims %d/%d for n=%d", len(x), len(y), m.N))
+	}
+	m.root.matvec(alpha, x, y)
+}
+
+func (n *node) matvec(alpha float64, x, y []float64) {
+	if n.dense != nil {
+		la.Gemv(alpha, n.dense, la.NoTrans, x[n.lo:n.hi], 1, y[n.lo:n.hi])
+		return
+	}
+	mid := n.left.hi
+	n.left.matvec(alpha, x, y)
+	n.right.matvec(alpha, x, y)
+	// off block: rows [mid,hi) × cols [lo,mid), plus its symmetric mirror
+	tlr.MatVec(n.off, alpha, x[n.lo:mid], y[mid:n.hi])
+	tlr.MatVecT(n.off, alpha, x[mid:n.hi], y[n.lo:mid])
+}

@@ -1,0 +1,369 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Side selects whether the triangular operand applies from the left or right.
+type Side int
+
+// Uplo selects the triangle referenced by a triangular or symmetric routine.
+type Uplo int
+
+// Trans selects whether an operand is transposed.
+type Trans int
+
+// Enumerations mirroring the BLAS conventions.
+const (
+	Left Side = iota
+	Right
+)
+const (
+	Lower Uplo = iota
+	Upper
+)
+const (
+	NoTrans Trans = iota
+	Transpose
+)
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("la: dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("la: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Gemv computes y = alpha*op(A)*x + beta*y.
+func Gemv(alpha float64, a *Mat, ta Trans, x []float64, beta float64, y []float64) {
+	ar, ac := opDims(a, ta)
+	if len(x) != ac || len(y) != ar {
+		panic(fmt.Sprintf("la: gemv shape mismatch op(A)=%dx%d x=%d y=%d", ar, ac, len(x), len(y)))
+	}
+	if beta != 1 {
+		for i := range y {
+			y[i] *= beta
+		}
+	}
+	if ta == NoTrans {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] += alpha * s
+		}
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		ax := alpha * x[i]
+		if ax == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += ax * v
+		}
+	}
+}
+
+func opDims(a *Mat, t Trans) (r, c int) {
+	if t == NoTrans {
+		return a.Rows, a.Cols
+	}
+	return a.Cols, a.Rows
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C.
+//
+// The kernel is written as an ikj loop over rows of C with the innermost loop
+// running over contiguous memory in both B and C, which is the standard
+// cache-friendly form for row-major storage.
+func Gemm(alpha float64, a *Mat, ta Trans, b *Mat, tb Trans, beta float64, c *Mat) {
+	ar, ac := opDims(a, ta)
+	br, bc := opDims(b, tb)
+	if ac != br || c.Rows != ar || c.Cols != bc {
+		panic(fmt.Sprintf("la: gemm shape mismatch op(A)=%dx%d op(B)=%dx%d C=%dx%d", ar, ac, br, bc, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	switch {
+	case ta == NoTrans && tb == NoTrans:
+		for i := 0; i < ar; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for k := 0; k < ac; k++ {
+				aik := alpha * ai[k]
+				if aik == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j, v := range bk {
+					ci[j] += aik * v
+				}
+			}
+		}
+	case ta == Transpose && tb == NoTrans:
+		for i := 0; i < ar; i++ {
+			ci := c.Row(i)
+			for k := 0; k < ac; k++ {
+				aik := alpha * a.At(k, i)
+				if aik == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j, v := range bk {
+					ci[j] += aik * v
+				}
+			}
+		}
+	case ta == NoTrans && tb == Transpose:
+		for i := 0; i < ar; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for j := 0; j < bc; j++ {
+				bj := b.Row(j)
+				var s float64
+				for k, v := range ai {
+					s += v * bj[k]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	default: // Transpose, Transpose
+		for i := 0; i < ar; i++ {
+			ci := c.Row(i)
+			for j := 0; j < bc; j++ {
+				var s float64
+				for k := 0; k < ac; k++ {
+					s += a.At(k, i) * b.At(j, k)
+				}
+				ci[j] += alpha * s
+			}
+		}
+	}
+}
+
+// Syrk computes the symmetric rank-k update C = alpha*op(A)*op(A)ᵀ + beta*C,
+// referencing and updating only the uplo triangle of C (the other triangle is
+// left untouched). With t == NoTrans the update is A*Aᵀ; with Transpose it is
+// Aᵀ*A.
+func Syrk(uplo Uplo, alpha float64, a *Mat, t Trans, beta float64, c *Mat) {
+	n, k := opDims(a, t)
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("la: syrk shape mismatch op(A)=%dx%d C=%dx%d", n, k, c.Rows, c.Cols))
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := 0, i+1
+		if uplo == Upper {
+			lo, hi = i, n
+		}
+		ci := c.Row(i)
+		for j := lo; j < hi; j++ {
+			var s float64
+			if t == NoTrans {
+				ai, aj := a.Row(i), a.Row(j)
+				for p, v := range ai {
+					s += v * aj[p]
+				}
+			} else {
+				for p := 0; p < k; p++ {
+					s += a.At(p, i) * a.At(p, j)
+				}
+			}
+			ci[j] = alpha*s + beta*ci[j]
+		}
+	}
+}
+
+// Trsm solves the triangular system in place:
+//
+//	side == Left:  op(T) * X = alpha * B   (B overwritten with X)
+//	side == Right: X * op(T) = alpha * B
+//
+// T references only its uplo triangle and must be non-singular.
+func Trsm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
+	if tri.Rows != tri.Cols {
+		panic("la: trsm with non-square triangular factor")
+	}
+	n := tri.Rows
+	if side == Left && b.Rows != n || side == Right && b.Cols != n {
+		panic(fmt.Sprintf("la: trsm shape mismatch T=%dx%d B=%dx%d side=%d", tri.Rows, tri.Cols, b.Rows, b.Cols, side))
+	}
+	if alpha != 1 {
+		b.Scale(alpha)
+	}
+	lowerEff := (uplo == Lower) != (t == Transpose) // effective "forward" orientation
+	switch side {
+	case Left:
+		if lowerEff {
+			// forward substitution over rows of B
+			for i := 0; i < n; i++ {
+				for k := 0; k < i; k++ {
+					lik := triAt(tri, uplo, t, i, k)
+					if lik != 0 {
+						Axpy(-lik, b.Row(k), b.Row(i))
+					}
+				}
+				d := triAt(tri, uplo, t, i, i)
+				inv := 1 / d
+				bi := b.Row(i)
+				for j := range bi {
+					bi[j] *= inv
+				}
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				for k := i + 1; k < n; k++ {
+					uik := triAt(tri, uplo, t, i, k)
+					if uik != 0 {
+						Axpy(-uik, b.Row(k), b.Row(i))
+					}
+				}
+				inv := 1 / triAt(tri, uplo, t, i, i)
+				bi := b.Row(i)
+				for j := range bi {
+					bi[j] *= inv
+				}
+			}
+		}
+	case Right:
+		// Solve X*op(T) = B row by row: each row x satisfies op(T)ᵀ xᵀ = bᵀ.
+		for r := 0; r < b.Rows; r++ {
+			x := b.Row(r)
+			if lowerEff {
+				// op(T) lower => op(T)ᵀ upper => backward substitution
+				for j := n - 1; j >= 0; j-- {
+					s := x[j]
+					for k := j + 1; k < n; k++ {
+						s -= triAt(tri, uplo, t, k, j) * x[k]
+					}
+					x[j] = s / triAt(tri, uplo, t, j, j)
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					s := x[j]
+					for k := 0; k < j; k++ {
+						s -= triAt(tri, uplo, t, k, j) * x[k]
+					}
+					x[j] = s / triAt(tri, uplo, t, j, j)
+				}
+			}
+		}
+	}
+}
+
+// triAt reads the (i, j) element of op(T) where T is triangular with the
+// given uplo; elements outside the stored triangle read as zero.
+func triAt(tri *Mat, uplo Uplo, t Trans, i, j int) float64 {
+	if t == Transpose {
+		i, j = j, i
+	}
+	if uplo == Lower && j > i || uplo == Upper && j < i {
+		return 0
+	}
+	return tri.At(i, j)
+}
+
+// Trmm computes B = alpha * op(T) * B (side Left) or B = alpha * B * op(T)
+// (side Right) where T is triangular.
+func Trmm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
+	if tri.Rows != tri.Cols {
+		panic("la: trmm with non-square triangular factor")
+	}
+	n := tri.Rows
+	if side == Left && b.Rows != n || side == Right && b.Cols != n {
+		panic("la: trmm shape mismatch")
+	}
+	lowerEff := (uplo == Lower) != (t == Transpose)
+	switch side {
+	case Left:
+		if lowerEff {
+			for i := n - 1; i >= 0; i-- {
+				bi := b.Row(i)
+				d := triAt(tri, uplo, t, i, i)
+				for j := range bi {
+					bi[j] *= d
+				}
+				for k := 0; k < i; k++ {
+					lik := triAt(tri, uplo, t, i, k)
+					if lik != 0 {
+						Axpy(lik, b.Row(k), bi)
+					}
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				bi := b.Row(i)
+				d := triAt(tri, uplo, t, i, i)
+				for j := range bi {
+					bi[j] *= d
+				}
+				for k := i + 1; k < n; k++ {
+					uik := triAt(tri, uplo, t, i, k)
+					if uik != 0 {
+						Axpy(uik, b.Row(k), bi)
+					}
+				}
+			}
+		}
+	case Right:
+		for r := 0; r < b.Rows; r++ {
+			x := b.Row(r)
+			if lowerEff {
+				for j := 0; j < n; j++ {
+					s := x[j] * triAt(tri, uplo, t, j, j)
+					for k := j + 1; k < n; k++ {
+						s += x[k] * triAt(tri, uplo, t, k, j)
+					}
+					x[j] = s
+				}
+			} else {
+				for j := n - 1; j >= 0; j-- {
+					s := x[j] * triAt(tri, uplo, t, j, j)
+					for k := 0; k < j; k++ {
+						s += x[k] * triAt(tri, uplo, t, k, j)
+					}
+					x[j] = s
+				}
+			}
+		}
+	}
+	if alpha != 1 {
+		b.Scale(alpha)
+	}
+}

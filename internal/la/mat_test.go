@@ -1,0 +1,528 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randSPD builds a well-conditioned SPD matrix A = B·Bᵀ + n·I.
+func randSPD(rng *rand.Rand, n int) *Mat {
+	b := randMat(rng, n, n)
+	a := NewMat(n, n)
+	Gemm(1, b, NoTrans, b, Transpose, 0, a)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestMatViewAliases(t *testing.T) {
+	m := NewMat(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Set(0, 0, 7)
+	if m.At(1, 1) != 7 {
+		t.Fatalf("view did not alias parent: got %g", m.At(1, 1))
+	}
+	if v.At(1, 1) != m.At(2, 2) {
+		t.Fatalf("view offset wrong")
+	}
+}
+
+func TestMatViewBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds view")
+		}
+	}()
+	NewMat(3, 3).View(2, 2, 2, 2)
+}
+
+func TestMatCloneIndependent(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 5)
+	c := m.Clone()
+	c.Set(1, 2, 9)
+	if m.At(1, 2) != 5 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestMatTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng, 3, 5)
+	mt := m.T()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !m.T().T().Equalish(m, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestMatAddSubScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 4, 4)
+	b := randMat(rng, 4, 4)
+	c := a.Clone()
+	c.Add(b)
+	c.Sub(b)
+	if !c.Equalish(a, 1e-14) {
+		t.Fatal("add then sub did not round-trip")
+	}
+	c.Scale(2)
+	c.Sub(a)
+	if !c.Equalish(a, 1e-12) {
+		t.Fatal("scale by 2 minus original should equal original")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMat(rng, 5, 5)
+	m.Symmetrize()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, ta := range []Trans{NoTrans, Transpose} {
+		for _, tb := range []Trans{NoTrans, Transpose} {
+			m, k, n := 7, 5, 6
+			var a, b *Mat
+			if ta == NoTrans {
+				a = randMat(rng, m, k)
+			} else {
+				a = randMat(rng, k, m)
+			}
+			if tb == NoTrans {
+				b = randMat(rng, k, n)
+			} else {
+				b = randMat(rng, n, k)
+			}
+			c := randMat(rng, m, n)
+			want := NewMat(m, n)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					var s float64
+					for p := 0; p < k; p++ {
+						var av, bv float64
+						if ta == Transpose {
+							av = a.At(p, i)
+						} else {
+							av = a.At(i, p)
+						}
+						if tb == Transpose {
+							bv = b.At(j, p)
+						} else {
+							bv = b.At(p, j)
+						}
+						s += av * bv
+					}
+					want.Set(i, j, 1.5*s+0.5*c.At(i, j))
+				}
+			}
+			Gemm(1.5, a, ta, b, tb, 0.5, c)
+			if !c.Equalish(want, 1e-12) {
+				t.Fatalf("gemm mismatch for ta=%v tb=%v", ta, tb)
+			}
+		}
+	}
+}
+
+func TestGemvMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 6, 4)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 6)
+	Gemv(2, a, NoTrans, x, 0, y)
+	want := NewMat(6, 1)
+	Gemm(2, a, NoTrans, NewMatFrom(4, 1, x), NoTrans, 0, want)
+	for i := range y {
+		if math.Abs(y[i]-want.At(i, 0)) > 1e-13 {
+			t.Fatalf("gemv mismatch at %d", i)
+		}
+	}
+	// transposed
+	yt := make([]float64, 4)
+	xt := make([]float64, 6)
+	for i := range xt {
+		xt[i] = rng.NormFloat64()
+	}
+	Gemv(1, a, Transpose, xt, 0, yt)
+	wantT := NewMat(4, 1)
+	Gemm(1, a.T(), NoTrans, NewMatFrom(6, 1, xt), NoTrans, 0, wantT)
+	for i := range yt {
+		if math.Abs(yt[i]-wantT.At(i, 0)) > 1e-13 {
+			t.Fatalf("gemv^T mismatch at %d", i)
+		}
+	}
+}
+
+func TestSyrkMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMat(rng, 5, 3)
+	c := randSPD(rng, 5)
+	before := c.Clone()
+	cRef := c.Clone()
+	Syrk(Lower, -1, a, NoTrans, 1, c)
+	Gemm(-1, a, NoTrans, a, Transpose, 1, cRef)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(c.At(i, j)-cRef.At(i, j)) > 1e-12 {
+				t.Fatalf("syrk lower mismatch at (%d,%d)", i, j)
+			}
+		}
+		for j := i + 1; j < 5; j++ {
+			if c.At(i, j) != before.At(i, j) {
+				t.Fatalf("syrk modified upper triangle at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSyrkTransposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 3, 5) // op(A) = AᵀA is 5x5
+	c := NewMat(5, 5)
+	Syrk(Lower, 1, a, Transpose, 0, c)
+	want := NewMat(5, 5)
+	Gemm(1, a, Transpose, a, NoTrans, 0, want)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("syrk^T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSyrkUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 4, 2)
+	c := NewMat(4, 4)
+	Syrk(Upper, 1, a, NoTrans, 0, c)
+	want := NewMat(4, 4)
+	Gemm(1, a, NoTrans, a, Transpose, 0, want)
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("syrk upper mismatch at (%d,%d)", i, j)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if c.At(i, j) != 0 {
+				t.Fatalf("syrk upper touched lower triangle at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func lowerFrom(rng *rand.Rand, n int) *Mat {
+	l := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, rng.NormFloat64())
+		}
+		l.Set(i, i, 1+rng.Float64()) // well away from zero
+	}
+	return l
+}
+
+func TestTrsmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 6
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, tr := range []Trans{NoTrans, Transpose} {
+				var tri *Mat
+				if uplo == Lower {
+					tri = lowerFrom(rng, n)
+				} else {
+					tri = lowerFrom(rng, n).T()
+				}
+				var b *Mat
+				if side == Left {
+					b = randMat(rng, n, 4)
+				} else {
+					b = randMat(rng, 4, n)
+				}
+				x := b.Clone()
+				Trsm(side, uplo, tr, 1, tri, x)
+				// verify op(T)X = B or X op(T) = B
+				check := x.Clone()
+				Trmm(side, uplo, tr, 1, tri, check)
+				if !check.Equalish(b, 1e-10) {
+					t.Fatalf("trsm/trmm round trip failed side=%v uplo=%v trans=%v", side, uplo, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tri := lowerFrom(rng, 5)
+	b := randMat(rng, 5, 3)
+	x1 := b.Clone()
+	Trsm(Left, Lower, NoTrans, 2, tri, x1)
+	x2 := b.Clone()
+	x2.Scale(2)
+	Trsm(Left, Lower, NoTrans, 1, tri, x2)
+	if !x1.Equalish(x2, 1e-12) {
+		t.Fatal("alpha scaling in trsm incorrect")
+	}
+}
+
+func TestPotrfReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 17, 64, 65, 130} {
+		a := randSPD(rng, n)
+		l := a.Clone()
+		if err := Potrf(l); err != nil {
+			t.Fatalf("potrf failed for n=%d: %v", n, err)
+		}
+		// zero strict upper of l
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				l.Set(i, j, 0)
+			}
+		}
+		rec := NewMat(n, n)
+		Gemm(1, l, NoTrans, l, Transpose, 0, rec)
+		diff := rec.Clone()
+		diff.Sub(a)
+		if diff.MaxAbs() > 1e-9*a.MaxAbs() {
+			t.Fatalf("n=%d: ||LL^T - A|| = %g too large", n, diff.MaxAbs())
+		}
+	}
+}
+
+func TestPotrfMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randSPD(rng, 97)
+	l1 := a.Clone()
+	l2 := a.Clone()
+	if err := Potrf(l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := PotrfUnblocked(l2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 97; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(l1.At(i, j)-l2.At(i, j)) > 1e-9 {
+				t.Fatalf("blocked vs unblocked mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := NewMatFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if err := Potrf(a); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 40
+	a := randSPD(rng, n)
+	l := a.Clone()
+	if err := Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	Gemv(1, a, NoTrans, xTrue, 0, b)
+	CholSolveVec(l, b)
+	for i := range b {
+		if math.Abs(b[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("cholsolve error at %d: %g vs %g", i, b[i], xTrue[i])
+		}
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	// diag(4, 9): |A| = 36, log = log 36; L = diag(2, 3)
+	l := NewMatFrom(2, 2, []float64{2, 0, 0, 3})
+	got := LogDetFromChol(l)
+	want := math.Log(36)
+	if math.Abs(got-want) > 1e-14 {
+		t.Fatalf("logdet: got %g want %g", got, want)
+	}
+}
+
+func TestQRThinReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, dims := range [][2]int{{8, 3}, {5, 5}, {20, 7}, {3, 8}, {64, 16}} {
+		m, n := dims[0], dims[1]
+		a := randMat(rng, m, n)
+		q, r := QRThin(a)
+		k := min(m, n)
+		if q.Rows != m || q.Cols != k || r.Rows != k || r.Cols != n {
+			t.Fatalf("QR dims wrong for %dx%d", m, n)
+		}
+		rec := NewMat(m, n)
+		Gemm(1, q, NoTrans, r, NoTrans, 0, rec)
+		diff := rec.Clone()
+		diff.Sub(a)
+		if diff.MaxAbs() > 1e-10 {
+			t.Fatalf("%dx%d: ||QR - A|| = %g", m, n, diff.MaxAbs())
+		}
+		// orthonormality of Q
+		qtq := NewMat(k, k)
+		Gemm(1, q, Transpose, q, NoTrans, 0, qtq)
+		idn := Eye(k)
+		qtq.Sub(idn)
+		if qtq.MaxAbs() > 1e-10 {
+			t.Fatalf("%dx%d: Q columns not orthonormal (%g)", m, n, qtq.MaxAbs())
+		}
+	}
+}
+
+func TestSVDThinReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, dims := range [][2]int{{6, 4}, {4, 6}, {10, 10}, {32, 8}, {1, 5}, {5, 1}} {
+		m, n := dims[0], dims[1]
+		a := randMat(rng, m, n)
+		u, s, v := SVDThin(a)
+		k := min(m, n)
+		if u.Rows != m || u.Cols != k || v.Rows != n || v.Cols != k || len(s) != k {
+			t.Fatalf("SVD dims wrong for %dx%d: U %dx%d V %dx%d s %d", m, n, u.Rows, u.Cols, v.Rows, v.Cols, len(s))
+		}
+		// descending singular values
+		for i := 1; i < k; i++ {
+			if s[i] > s[i-1]+1e-12 {
+				t.Fatalf("singular values not descending: %v", s)
+			}
+		}
+		// reconstruction
+		us := NewMat(m, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				us.Set(i, j, u.At(i, j)*s[j])
+			}
+		}
+		rec := NewMat(m, n)
+		Gemm(1, us, NoTrans, v, Transpose, 0, rec)
+		rec.Sub(a)
+		if rec.MaxAbs() > 1e-9 {
+			t.Fatalf("%dx%d: ||USV^T - A|| = %g", m, n, rec.MaxAbs())
+		}
+	}
+}
+
+func TestSVDLowRankExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	// Build an exactly rank-3 12x10 matrix; SVD must see s[3..] ≈ 0.
+	x := randMat(rng, 12, 3)
+	y := randMat(rng, 10, 3)
+	a := NewMat(12, 10)
+	Gemm(1, x, NoTrans, y, Transpose, 0, a)
+	_, s, _ := SVDThin(a)
+	if s[2] < 1e-10 {
+		t.Fatalf("rank-3 matrix lost rank: %v", s[:4])
+	}
+	for i := 3; i < len(s); i++ {
+		if s[i] > 1e-9*s[0] {
+			t.Fatalf("tail singular value %d = %g not negligible", i, s[i])
+		}
+	}
+	if k := TruncatedRank(s, 1e-8, true); k != 3 {
+		t.Fatalf("TruncatedRank = %d, want 3", k)
+	}
+}
+
+func TestTruncatedRankEdges(t *testing.T) {
+	if k := TruncatedRank(nil, 1e-9, true); k != 0 {
+		t.Fatalf("empty: got %d", k)
+	}
+	if k := TruncatedRank([]float64{5, 4, 3}, 1e-9, true); k != 3 {
+		t.Fatalf("full rank: got %d", k)
+	}
+	// all below absolute threshold but leading nonzero → rank 1 floor
+	if k := TruncatedRank([]float64{1e-12}, 1e-9, false); k != 1 {
+		t.Fatalf("floor: got %d", k)
+	}
+	if k := TruncatedRank([]float64{10, 1e-12}, 1e-9, true); k != 1 {
+		t.Fatalf("relative cut: got %d", k)
+	}
+}
+
+// Property: for random SPD matrices, solving against the Cholesky factor
+// reproduces the right-hand side.
+func TestQuickCholeskyInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(math.Abs(float64(seed)))%20
+		a := randSPD(r, n)
+		l := a.Clone()
+		if err := Potrf(l); err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := make([]float64, n)
+		Gemv(1, a, NoTrans, x, 0, b)
+		CholSolveVec(l, b)
+		for i := range b {
+			if math.Abs(b[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frobenius norm is invariant under transpose, and sub-multiplicative
+// under Gemm within a generous constant.
+func TestQuickNormProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMat(r, 5, 7)
+		if math.Abs(a.FrobNorm()-a.T().FrobNorm()) > 1e-12 {
+			return false
+		}
+		b := randMat(r, 7, 4)
+		c := NewMat(5, 4)
+		Gemm(1, a, NoTrans, b, NoTrans, 0, c)
+		return c.FrobNorm() <= a.FrobNorm()*b.FrobNorm()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

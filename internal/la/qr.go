@@ -1,0 +1,85 @@
+package la
+
+import "math"
+
+// QRThin computes a thin QR factorization of the m×n matrix a (m ≥ n is not
+// required; k = min(m, n) columns of Q are produced): a = Q·R with Q m×k
+// having orthonormal columns and R k×n upper triangular.
+//
+// The implementation uses Householder reflections accumulated explicitly,
+// which is ample for the tall-skinny recompression panels (tile-size × rank)
+// that dominate TLR arithmetic.
+func QRThin(a *Mat) (q, r *Mat) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	work := a.Clone()
+	// vs stores the Householder vectors; taus the scalar factors.
+	vs := NewMat(m, k)
+	taus := make([]float64, k)
+
+	for j := 0; j < k; j++ {
+		// Build the Householder reflector for column j below the diagonal.
+		var normx float64
+		for i := j; i < m; i++ {
+			v := work.At(i, j)
+			normx += v * v
+		}
+		normx = math.Sqrt(normx)
+		x0 := work.At(j, j)
+		if normx == 0 {
+			taus[j] = 0
+			continue
+		}
+		alpha := -math.Copysign(normx, x0)
+		v0 := x0 - alpha
+		// v = [v0, x_{j+1..m}] normalized so v[0] = 1
+		vs.Set(j, j, 1)
+		var vnorm2 float64 = 1
+		for i := j + 1; i < m; i++ {
+			vi := work.At(i, j) / v0
+			vs.Set(i, j, vi)
+			vnorm2 += vi * vi
+		}
+		taus[j] = 2 / vnorm2
+		// Apply H = I - tau v vᵀ to the trailing columns of work.
+		for c := j; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += vs.At(i, j) * work.At(i, c)
+			}
+			dot *= taus[j]
+			for i := j; i < m; i++ {
+				work.Set(i, c, work.At(i, c)-dot*vs.At(i, j))
+			}
+		}
+	}
+
+	r = NewMat(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+
+	// Form the thin Q by applying the reflectors to the first k columns of I.
+	q = NewMat(m, k)
+	for j := 0; j < k; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := k - 1; j >= 0; j-- {
+		if taus[j] == 0 {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += vs.At(i, j) * q.At(i, c)
+			}
+			dot *= taus[j]
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-dot*vs.At(i, j))
+			}
+		}
+	}
+	return q, r
+}

@@ -1,0 +1,144 @@
+package la
+
+import (
+	"math"
+	"sort"
+)
+
+// SVDThin computes a thin singular value decomposition a = U·diag(s)·Vᵀ where
+// U is m×k, V is n×k, k = min(m, n), and s is returned in descending order.
+//
+// The algorithm is one-sided Jacobi applied to the rows of the (possibly
+// transposed) input so the rotation sweeps always run over contiguous
+// memory and over the smaller dimension. Jacobi is slower than
+// bidiagonalization-based SVD but is simple, numerically robust, and fast
+// enough for the tile-sized (≤ a few hundred) matrices TLR compression
+// feeds it.
+func SVDThin(a *Mat) (u *Mat, s []float64, v *Mat) {
+	if a.Rows >= a.Cols {
+		return svdTall(a)
+	}
+	// a = U S Vᵀ  ⇔  aᵀ = V S Uᵀ
+	v2, s2, u2 := svdTall(a.T())
+	return u2, s2, v2
+}
+
+// svdTall computes the thin SVD of a (m ≥ n) without modifying it.
+//
+// Internally it runs one-sided Jacobi on W = aᵀ (n rows of length m): a
+// rotation of rows (p, q) of W is a rotation of columns (p, q) of a, and row
+// operations are contiguous in the row-major layout.
+func svdTall(a *Mat) (u *Mat, s []float64, v *Mat) {
+	m, n := a.Rows, a.Cols
+	w := a.T() // n×m; row i of w is column i of a
+	vm := Eye(n)
+	const maxSweeps = 60
+	// Convergence threshold on the normalized off-diagonal Gram entries.
+	const eps = 1e-15
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := 0
+		for p := 0; p < n-1; p++ {
+			wp := w.Row(p)
+			for q := p + 1; q < n; q++ {
+				wq := w.Row(q)
+				var app, aqq, apq float64
+				for i, vp := range wp {
+					vq := wq[i]
+					app += vp * vp
+					aqq += vq * vq
+					apq += vp * vq
+				}
+				if apq == 0 || math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				rotated++
+				// Jacobi rotation zeroing the (p, q) Gram entry.
+				zeta := (aqq - app) / (2 * apq)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i, vp := range wp {
+					vq := wq[i]
+					wp[i] = c*vp - sn*vq
+					wq[i] = sn*vp + c*vq
+				}
+				vp := vm.Row(p)
+				vq := vm.Row(q)
+				for i, x := range vp {
+					y := vq[i]
+					vp[i] = c*x - sn*y
+					vq[i] = sn*x + c*y
+				}
+			}
+		}
+		if rotated == 0 {
+			break
+		}
+	}
+
+	// Row norms of w are the singular values; normalized rows are the
+	// columns of U. vm's rows are the columns of V (it accumulated the same
+	// row rotations starting from I).
+	s = make([]float64, n)
+	for j := 0; j < n; j++ {
+		s[j] = Nrm2(w.Row(j))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+
+	u = NewMat(m, n)
+	v = NewMat(n, n)
+	sorted := make([]float64, n)
+	for jj, j := range idx {
+		sorted[jj] = s[j]
+		inv := 0.0
+		if s[j] > 0 {
+			inv = 1 / s[j]
+		}
+		wj := w.Row(j)
+		for i := 0; i < m; i++ {
+			u.Set(i, jj, wj[i]*inv)
+		}
+		vj := vm.Row(j)
+		for i := 0; i < n; i++ {
+			v.Set(i, jj, vj[i])
+		}
+	}
+	return u, sorted, v
+}
+
+// TruncatedRank returns the smallest k such that the spectral tail below
+// index k is within tol in the operator-norm sense used by HiCMA: it keeps
+// singular values s[i] > tol·s[0] when relative is true, or s[i] > tol when
+// relative is false. The result is at least 1 when s is non-empty and the
+// leading value is nonzero.
+func TruncatedRank(s []float64, tol float64, relative bool) int {
+	if len(s) == 0 {
+		return 0
+	}
+	cut := tol
+	if relative {
+		cut = tol * s[0]
+	}
+	k := 0
+	for _, v := range s {
+		if v > cut {
+			k++
+		} else {
+			break
+		}
+	}
+	if k == 0 && s[0] > 0 {
+		k = 1
+	}
+	return k
+}

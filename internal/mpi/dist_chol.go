@@ -1,0 +1,263 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+)
+
+// Grid is a 2D process grid mapping tiles to ranks block-cyclically, the
+// distribution the paper's distributed runs use.
+type Grid struct {
+	P, Q int
+}
+
+// Owner returns the rank owning tile (i, j).
+func (g Grid) Owner(i, j int) int { return (i%g.P)*g.Q + j%g.Q }
+
+// row returns the ranks of process row r (owners of tile rows ≡ r mod P).
+func (g Grid) row(r int) []int {
+	out := make([]int, g.Q)
+	for q := 0; q < g.Q; q++ {
+		out[q] = r*g.Q + q
+	}
+	return out
+}
+
+// col returns the ranks of process column q.
+func (g Grid) col(q int) []int {
+	out := make([]int, g.P)
+	for p := 0; p < g.P; p++ {
+		out[p] = p*g.Q + q
+	}
+	return out
+}
+
+// tileKey identifies a tile in a rank's local store.
+type tileKey struct{ i, j int }
+
+// DistMatrix is one rank's shard of a block-cyclically distributed
+// symmetric matrix (lower tiles only).
+type DistMatrix struct {
+	N, NB, MT int
+	Grid      Grid
+	Rank      int
+	local     map[tileKey]*la.Mat
+}
+
+// tileDim returns the edge of tile row i.
+func (m *DistMatrix) tileDim(i int) int {
+	d := m.N - i*m.NB
+	if d > m.NB {
+		d = m.NB
+	}
+	return d
+}
+
+// NewDistFromKernel assembles rank's shard of Σ(θ): only locally owned
+// tiles are generated — no rank ever holds the full matrix.
+func NewDistFromKernel(rank int, grid Grid, k *cov.Kernel, pts []geom.Point, metric geom.Metric, nb int, nugget float64) *DistMatrix {
+	n := len(pts)
+	m := &DistMatrix{N: n, NB: nb, MT: (n + nb - 1) / nb, Grid: grid, Rank: rank, local: map[tileKey]*la.Mat{}}
+	for i := 0; i < m.MT; i++ {
+		for j := 0; j <= i; j++ {
+			if grid.Owner(i, j) != rank {
+				continue
+			}
+			t := la.NewMat(m.tileDim(i), m.tileDim(j))
+			k.Block(t, pts[i*nb:i*nb+m.tileDim(i)], pts[j*nb:j*nb+m.tileDim(j)], metric)
+			if i == j {
+				for a := 0; a < t.Rows; a++ {
+					t.Set(a, a, t.At(a, a)+nugget)
+				}
+			}
+			m.local[tileKey{i, j}] = t
+		}
+	}
+	return m
+}
+
+// Tile returns a locally owned tile (nil if not owned).
+func (m *DistMatrix) Tile(i, j int) *la.Mat { return m.local[tileKey{i, j}] }
+
+// message tags: type | panel | row, packed to stay unique per (kind, i, k).
+func tagOf(kind, i, k, mt int) int { return kind*mt*mt + i*mt + k }
+
+// tag kinds
+const (
+	tagLkk = iota + 1 // factored diagonal tile broadcast
+	tagRow            // panel tile broadcast along its process row
+	tagCol            // panel tile broadcast to its process column
+	tagSum            // reductions
+)
+
+// Cholesky factors the distributed matrix in place on this rank,
+// cooperating with the other ranks of comm. The algorithm is the
+// right-looking variant with the standard 2D broadcasts:
+//
+//   - L_kk goes down process column k mod Q (to the panel owners);
+//   - each solved panel tile A_ik goes along process row i mod P (it is the
+//     left operand of every GEMM in tile row i) and down process column
+//     i mod Q (it is the right operand of every GEMM in tile column i).
+//
+// Every rank calls Cholesky; the call returns when the rank's shard holds
+// its tiles of L. A non-SPD pivot is returned as an error on every rank.
+func (m *DistMatrix) Cholesky(c *Comm) error {
+	g := m.Grid
+	mt := m.MT
+	failTag := tagOf(tagSum, mt-1, mt-1, mt) + 1
+	for k := 0; k < mt; k++ {
+		// 1. factor the diagonal tile and share it with the panel column.
+		var lkk *la.Mat
+		colRanks := g.col(k % g.Q)
+		diagOwner := g.Owner(k, k)
+		failed := 0.0
+		if c.Rank() == diagOwner {
+			t := m.Tile(k, k)
+			if err := la.PotrfUnblocked(t); err != nil {
+				failed = 1
+			}
+			lkk = t
+			c.Bcast(diagOwner, tagOf(tagLkk, k, k, mt), t.Data[:t.Rows*t.Stride], colRanks)
+		} else if contains(colRanks, c.Rank()) {
+			d := m.tileDim(k)
+			data := c.Recv(diagOwner, tagOf(tagLkk, k, k, mt))
+			lkk = la.NewMatFrom(d, d, data)
+		}
+		// agree on failure (the factorization cannot proceed past a bad
+		// pivot; everyone must exit together)
+		if c.AllreduceSum(failTag+2*k, failed) > 0 {
+			return fmt.Errorf("mpi: matrix not positive definite at panel %d", k)
+		}
+
+		// 2. panel solve + broadcasts.
+		for i := k + 1; i < mt; i++ {
+			owner := g.Owner(i, k)
+			if c.Rank() == owner {
+				t := m.Tile(i, k)
+				la.Trsm(la.Right, la.Lower, la.Transpose, 1, lkk, t)
+				payload := t.Data[:t.Rows*t.Stride]
+				for _, r := range dedup(g.row(i%g.P), g.col(i%g.Q)) {
+					if r != owner {
+						c.Send(r, tagOf(tagRow, i, k, mt), payload)
+					}
+				}
+			}
+		}
+
+		// 3. trailing update: gather the panel tiles this rank needs, then
+		// apply SYRK/GEMM on locally owned tiles.
+		panel := map[int]*la.Mat{}
+		needPanel := func(i int) *la.Mat {
+			if t, ok := panel[i]; ok {
+				return t
+			}
+			owner := g.Owner(i, k)
+			var t *la.Mat
+			if c.Rank() == owner {
+				t = m.Tile(i, k)
+			} else {
+				data := c.Recv(owner, tagOf(tagRow, i, k, mt))
+				t = la.NewMatFrom(m.tileDim(i), m.tileDim(k), data)
+			}
+			panel[i] = t
+			return t
+		}
+		for i := k + 1; i < mt; i++ {
+			for j := k + 1; j <= i; j++ {
+				if g.Owner(i, j) != c.Rank() {
+					continue
+				}
+				if i == j {
+					la.Syrk(la.Lower, -1, needPanel(i), la.NoTrans, 1, m.Tile(i, i))
+				} else {
+					la.Gemm(-1, needPanel(i), la.NoTrans, needPanel(j), la.Transpose, 1, m.Tile(i, j))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LogDet computes log|A| cooperatively after Cholesky (sum of local diagonal
+// contributions, allreduced).
+func (m *DistMatrix) LogDet(c *Comm) float64 {
+	var local float64
+	for k := 0; k < m.MT; k++ {
+		if m.Grid.Owner(k, k) == c.Rank() {
+			local += la.LogDetFromChol(m.Tile(k, k))
+		}
+	}
+	return c.AllreduceSum(tagOf(tagSum, 0, 0, m.MT)+100000, local)
+}
+
+// Gather assembles the full lower-triangular factor on rank 0 (testing and
+// small-problem interop); other ranks return nil.
+func (m *DistMatrix) Gather(c *Comm) *la.Mat {
+	base := tagOf(tagSum, 0, 0, m.MT) + 200000
+	if c.Rank() != 0 {
+		for key, t := range m.local {
+			c.Send(0, base+key.i*m.MT+key.j, t.Data[:t.Rows*t.Stride])
+		}
+		return nil
+	}
+	out := la.NewMat(m.N, m.N)
+	for i := 0; i < m.MT; i++ {
+		for j := 0; j <= i; j++ {
+			var t *la.Mat
+			if owner := m.Grid.Owner(i, j); owner == 0 {
+				t = m.Tile(i, j)
+			} else {
+				data := c.Recv(owner, base+i*m.MT+j)
+				t = la.NewMatFrom(m.tileDim(i), m.tileDim(j), data)
+			}
+			for a := 0; a < t.Rows; a++ {
+				for b := 0; b < t.Cols; b++ {
+					out.Set(i*m.NB+a, j*m.NB+b, t.At(a, b))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunWorld runs fn once per rank concurrently and waits for completion; any
+// per-rank error is collected.
+func RunWorld(size int, fn func(c *Comm) error) []error {
+	w := NewWorld(size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = fn(w.At(r))
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// dedup merges two rank lists without duplicates.
+func dedup(a, b []int) []int {
+	out := append([]int(nil), a...)
+	for _, v := range b {
+		if !contains(out, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package mpi provides a rank-based message-passing layer over Go channels —
+// a miniature MPI used to run genuinely distributed-memory algorithms inside
+// one process. Ranks share no data structures: every tile that crosses a
+// rank boundary is copied through a mailbox, exactly as an MPI program would
+// send it over the wire.
+//
+// The distributed tiled Cholesky in this package (dist_chol.go) is the
+// real-execution counterpart of the cluster package's simulator: the same
+// 2D block-cyclic ownership and panel broadcasts, executed rather than
+// modeled.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one tagged payload in flight.
+type message struct {
+	src, tag int
+	data     []float64
+}
+
+// World is a communicator group of size ranks with reliable, ordered,
+// tag-matched delivery.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// mailbox buffers incoming messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+// NewWorld creates a communicator group with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		mb := &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		w.boxes[i] = mb
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// At returns the endpoint for a rank (each rank goroutine should use only
+// its own endpoint; At exists for test setup).
+func (w *World) At(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Send delivers a copy of data to dst under tag. Sends never block (the
+// mailbox is unbounded), which makes naturally deadlock-free programs out of
+// panel-broadcast algorithms.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst == c.rank {
+		// self-sends are legal and common in broadcast loops
+		c.deliver(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
+		return
+	}
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
+}
+
+func (c *Comm) deliver(m message) { c.world.boxes[c.rank].put(m) }
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) []float64 {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if m.src == src && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m.data
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// Bcast distributes data from root to every rank in ranks (which must
+// include root) and returns the received copy. Non-root callers pass nil.
+func (c *Comm) Bcast(root, tag int, data []float64, ranks []int) []float64 {
+	if c.rank == root {
+		for _, r := range ranks {
+			if r != root {
+				c.Send(r, tag, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tag)
+}
+
+// AllreduceSum sums one value across all ranks (gather to rank 0, then
+// broadcast).
+func (c *Comm) AllreduceSum(tag int, v float64) float64 {
+	if c.rank == 0 {
+		total := v
+		for r := 1; r < c.Size(); r++ {
+			total += c.Recv(r, tag)[0]
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tag+1, []float64{total})
+		}
+		return total
+	}
+	c.Send(0, tag, []float64{v})
+	return c.Recv(0, tag+1)[0]
+}
+
+// Barrier synchronizes all ranks (counter on rank 0).
+func (c *Comm) Barrier(tag int) {
+	c.AllreduceSum(tag, 0)
+}

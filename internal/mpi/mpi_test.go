@@ -1,0 +1,206 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+func TestSendRecvTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := w.At(1)
+		// receive out of order: tag 2 first even though tag 1 arrived first
+		b := c.Recv(0, 2)
+		a := c.Recv(0, 1)
+		if a[0] != 1 || b[0] != 2 {
+			t.Errorf("tag matching broken: %v %v", a, b)
+		}
+	}()
+	c0 := w.At(0)
+	c0.Send(1, 1, []float64{1})
+	c0.Send(1, 2, []float64{2})
+	<-done
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	buf := []float64{42}
+	w.At(0).Send(1, 7, buf)
+	buf[0] = -1
+	got := w.At(1).Recv(0, 7)
+	if got[0] != 42 {
+		t.Fatal("send must copy the payload")
+	}
+}
+
+func TestBcastAndAllreduce(t *testing.T) {
+	const size = 6
+	var wg sync.WaitGroup
+	w := NewWorld(size)
+	sums := make([]float64, size)
+	bcasts := make([][]float64, size)
+	all := []int{0, 1, 2, 3, 4, 5}
+	for r := 0; r < size; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := w.At(r)
+			var data []float64
+			if r == 2 {
+				data = []float64{3.5}
+			}
+			bcasts[r] = c.Bcast(2, 9, data, all)
+			sums[r] = c.AllreduceSum(50, float64(r))
+		}()
+	}
+	wg.Wait()
+	for r := 0; r < size; r++ {
+		if bcasts[r][0] != 3.5 {
+			t.Fatalf("rank %d bcast got %v", r, bcasts[r])
+		}
+		if sums[r] != 15 {
+			t.Fatalf("rank %d allreduce got %g", r, sums[r])
+		}
+	}
+}
+
+func TestGridOwnership(t *testing.T) {
+	g := Grid{P: 2, Q: 3}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			o := g.Owner(i, j)
+			if o < 0 || o >= 6 {
+				t.Fatalf("owner %d out of range", o)
+			}
+			seen[o] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("not all ranks own tiles: %v", seen)
+	}
+	if len(g.row(1)) != 3 || len(g.col(2)) != 2 {
+		t.Fatal("row/col rank lists wrong")
+	}
+}
+
+// distProblem builds the shared test inputs.
+func distProblem(n int) (*cov.Kernel, []geom.Point) {
+	r := rng.New(77)
+	pts := geom.GeneratePerturbedGrid(n, r)
+	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	return cov.NewKernel(cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5}), pts
+}
+
+func TestDistributedCholeskyMatchesDense(t *testing.T) {
+	for _, cfg := range []struct {
+		n, nb, p, q int
+	}{
+		{60, 15, 2, 2},
+		{90, 16, 2, 3}, // ragged tiles, rectangular grid
+		{48, 12, 1, 4},
+		{48, 12, 4, 1},
+		{40, 40, 2, 2}, // single tile: only rank owning it works
+	} {
+		k, pts := distProblem(cfg.n)
+		grid := Grid{P: cfg.p, Q: cfg.q}
+
+		// dense reference
+		ref := la.NewMat(cfg.n, cfg.n)
+		k.Matrix(ref, pts, geom.Euclidean)
+		cov.AddNugget(ref, 1e-10)
+		if err := la.Potrf(ref); err != nil {
+			t.Fatal(err)
+		}
+		wantLogDet := la.LogDetFromChol(ref)
+
+		var gathered *la.Mat
+		var logDets [16]float64
+		errs := RunWorld(cfg.p*cfg.q, func(c *Comm) error {
+			m := NewDistFromKernel(c.Rank(), grid, k, pts, geom.Euclidean, cfg.nb, 1e-10)
+			if err := m.Cholesky(c); err != nil {
+				return err
+			}
+			logDets[c.Rank()] = m.LogDet(c)
+			if g := m.Gather(c); g != nil {
+				gathered = g
+			}
+			return nil
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("grid %dx%d rank %d: %v", cfg.p, cfg.q, r, err)
+			}
+		}
+		for r := 0; r < cfg.p*cfg.q; r++ {
+			if math.Abs(logDets[r]-wantLogDet) > 1e-8*math.Abs(wantLogDet) {
+				t.Fatalf("grid %dx%d: rank %d logdet %g want %g", cfg.p, cfg.q, r, logDets[r], wantLogDet)
+			}
+		}
+		var worst float64
+		for i := 0; i < cfg.n; i++ {
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(gathered.At(i, j) - ref.At(i, j)); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > 1e-9 {
+			t.Fatalf("grid %dx%d: factor deviates from dense by %g", cfg.p, cfg.q, worst)
+		}
+	}
+}
+
+func TestDistributedCholeskyShardsAreDisjoint(t *testing.T) {
+	k, pts := distProblem(64)
+	grid := Grid{P: 2, Q: 2}
+	counts := make([]int, 4)
+	RunWorld(4, func(c *Comm) error {
+		m := NewDistFromKernel(c.Rank(), grid, k, pts, geom.Euclidean, 16, 0)
+		counts[c.Rank()] = len(m.local)
+		// a rank never materializes tiles it does not own
+		for key := range m.local {
+			if grid.Owner(key.i, key.j) != c.Rank() {
+				t.Errorf("rank %d holds foreign tile %v", c.Rank(), key)
+			}
+		}
+		return nil
+	})
+	total := 0
+	for _, ct := range counts {
+		total += ct
+	}
+	if total != 10 { // MT=4 lower tiles = 4*5/2
+		t.Fatalf("shards cover %d tiles, want 10", total)
+	}
+}
+
+func TestDistributedCholeskyNotSPDFailsEverywhere(t *testing.T) {
+	// A zero matrix fails at the first pivot on every rank, in agreement.
+	grid := Grid{P: 2, Q: 2}
+	errs := RunWorld(4, func(c *Comm) error {
+		m := &DistMatrix{N: 32, NB: 8, MT: 4, Grid: grid, Rank: c.Rank(), local: map[tileKey]*la.Mat{}}
+		for i := 0; i < 4; i++ {
+			for j := 0; j <= i; j++ {
+				if grid.Owner(i, j) == c.Rank() {
+					m.local[tileKey{i, j}] = la.NewMat(8, 8)
+				}
+			}
+		}
+		return m.Cholesky(c)
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d should report the failure", r)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func box(n int, lo, hi float64) ([]float64, []float64) {
+	l := make([]float64, n)
+	u := make([]float64, n)
+	for i := range l {
+		l[i] = lo
+		u[i] = hi
+	}
+	return l, u
+}
+
+func TestQuadraticBowl(t *testing.T) {
+	lo, hi := box(3, -10, 10)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			var s float64
+			for i, v := range x {
+				d := v - float64(i+1)
+				s += d * d
+			}
+			return s
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := NelderMead(p, []float64{5, -5, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.X {
+		if math.Abs(v-float64(i+1)) > 1e-4 {
+			t.Fatalf("x[%d] = %g, want %d", i, v, i+1)
+		}
+	}
+	if !r.Converged {
+		t.Fatal("should converge on a quadratic")
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	lo, hi := box(2, -5, 5)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			a := 1 - x[0]
+			b := x[1] - x[0]*x[0]
+			return a*a + 100*b*b
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := NelderMead(p, []float64{-1.2, 1}, Options{MaxEvals: 5000, TolX: 1e-9, TolF: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-3 || math.Abs(r.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum missed: %v (f=%g)", r.X, r.F)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	// Unconstrained minimum at (-3, -3) but box is [0, 5]²: solution (0, 0).
+	lo, hi := box(2, 0, 5)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			return (x[0]+3)*(x[0]+3) + (x[1]+3)*(x[1]+3)
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := NelderMead(p, []float64{4, 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.X {
+		if v < 0 || v > 5 {
+			t.Fatalf("bound violated: %v", r.X)
+		}
+	}
+	if r.X[0] > 1e-3 || r.X[1] > 1e-3 {
+		t.Fatalf("constrained minimum missed: %v", r.X)
+	}
+}
+
+func TestStartOutsideBoxIsClipped(t *testing.T) {
+	lo, hi := box(1, 0, 1)
+	p := Problem{Objective: func(x []float64) float64 { return x[0] * x[0] }, Lower: lo, Upper: hi}
+	r, err := NelderMead(p, []float64{50}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0] < 0 || r.X[0] > 1 {
+		t.Fatalf("start clipping failed: %v", r.X)
+	}
+}
+
+func TestNaNObjectiveTreatedAsBad(t *testing.T) {
+	lo, hi := box(2, -2, 2)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			if x[0] < 0 {
+				return math.NaN()
+			}
+			return (x[0] - 1) * (x[0] - 1) * (1 + x[1]*x[1])
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := NelderMead(p, []float64{1.5, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-3 {
+		t.Fatalf("NaN region derailed search: %v", r.X)
+	}
+}
+
+func TestMaxEvalsHonored(t *testing.T) {
+	lo, hi := box(2, -5, 5)
+	calls := 0
+	p := Problem{
+		Objective: func(x []float64) float64 { calls++; return x[0]*x[0] + x[1]*x[1] },
+		Lower:     lo, Upper: hi,
+	}
+	_, err := NelderMead(p, []float64{3, 3}, Options{MaxEvals: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 37+5 { // a shrink step may finish slightly over
+		t.Fatalf("objective called %d times for MaxEvals=37", calls)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	lo, hi := box(2, 0, 1)
+	cases := []struct {
+		p  Problem
+		x0 []float64
+	}{
+		{Problem{Objective: nil, Lower: lo, Upper: hi}, []float64{0.5, 0.5}},
+		{Problem{Objective: func([]float64) float64 { return 0 }, Lower: lo[:1], Upper: hi}, []float64{0.5, 0.5}},
+		{Problem{Objective: func([]float64) float64 { return 0 }, Lower: hi, Upper: lo}, []float64{0.5, 0.5}},
+		{Problem{Objective: func([]float64) float64 { return 0 }, Lower: lo, Upper: hi}, nil},
+	}
+	for i, c := range cases {
+		if _, err := NelderMead(c.p, c.x0, Options{}); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("case %d: want ErrBadProblem, got %v", i, err)
+		}
+	}
+}
+
+func TestMultiStartEscapesBasin(t *testing.T) {
+	// Two-well function: local min near 2.5 (f≈1), global at -2.5 (f≈0).
+	lo, hi := box(1, -4, 4)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			v := x[0]
+			return math.Min((v-2.5)*(v-2.5)+1, (v+2.5)*(v+2.5))
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := MultiStart(p, [][]float64{{3}, {-3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]+2.5) > 1e-3 {
+		t.Fatalf("multistart missed global minimum: %v", r.X)
+	}
+}
+
+func TestMultiStartEmpty(t *testing.T) {
+	if _, err := MultiStart(Problem{}, nil, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("expected ErrBadProblem for empty starts")
+	}
+}
+
+// The three-parameter Matérn-like shape: anisotropic curved valley in a
+// positive box, representative of the actual MLE surface.
+func TestCurvedValley3D(t *testing.T) {
+	lo, hi := box(3, 0.01, 5)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			a := math.Log(x[0]) - math.Log(1.0)
+			b := 10 * (math.Log(x[1]) - math.Log(0.1))
+			c := 3 * (x[2] - 0.5)
+			return a*a + b*b + c*c + 0.1*a*b
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := NelderMead(p, []float64{0.5, 0.05, 1}, Options{MaxEvals: 4000, TolX: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 5e-3 || math.Abs(r.X[1]-0.1) > 5e-3 || math.Abs(r.X[2]-0.5) > 5e-3 {
+		t.Fatalf("valley minimum missed: %v", r.X)
+	}
+}
+
+func TestGridSearchFindsBasin(t *testing.T) {
+	lo, hi := box(2, -4, 4)
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			// global minimum near (2, -2); a decoy basin near (-2, 2)
+			g := (x[0]-2)*(x[0]-2) + (x[1]+2)*(x[1]+2)
+			d := (x[0]+2)*(x[0]+2) + (x[1]-2)*(x[1]-2) + 3
+			return math.Min(g, d)
+		},
+		Lower: lo, Upper: hi,
+	}
+	r, err := GridSearch(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1 || math.Abs(r.X[1]+2) > 1 {
+		t.Fatalf("grid search missed the global basin: %v", r.X)
+	}
+	if r.Evals != 81 {
+		t.Fatalf("evals = %d, want 81", r.Evals)
+	}
+	// refine with NelderMead from the grid point
+	nm, err := NelderMead(p, r.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nm.X[0]-2) > 1e-3 || math.Abs(nm.X[1]+2) > 1e-3 {
+		t.Fatalf("refinement failed: %v", nm.X)
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	if _, err := GridSearch(Problem{}, 3); err == nil {
+		t.Fatal("empty problem must error")
+	}
+}

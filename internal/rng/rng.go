@@ -1,0 +1,131 @@
+// Package rng provides the deterministic pseudo-random number generation used
+// by every stochastic component in the repository: data generation, Monte
+// Carlo replication, randomized SVD sampling, and missing-value selection.
+//
+// The generator is xoshiro256++, seeded through SplitMix64 so that any 64-bit
+// seed yields a well-mixed state. Substreams derived with Split are
+// statistically independent for reproduction purposes, letting experiments
+// fan out deterministic parallel streams (one per Monte-Carlo replicate)
+// regardless of scheduling order.
+package rng
+
+import "math"
+
+// Rand is a deterministic xoshiro256++ generator. The zero value is invalid;
+// use New.
+type Rand struct {
+	s [4]uint64
+	// cached second normal from the Box–Muller pair
+	hasGauss bool
+	gauss    float64
+}
+
+// New returns a generator seeded from seed via SplitMix64.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro requires a nonzero state; SplitMix64 guarantees it except for
+	// pathological collisions, which we guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent substream labeled by id. The derivation hashes
+// (current seed state, id), so substreams with different ids never overlap in
+// practice.
+func (r *Rand) Split(id uint64) *Rand {
+	return New(r.Uint64() ^ (id*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free enough for our purposes: modulo bias is
+	// below 2^-53 for the n used here (≤ a few million), but use rejection
+	// sampling anyway for exactness.
+	mask := uint64(n)
+	bound := (math.MaxUint64 / mask) * mask
+	for {
+		v := r.Uint64()
+		if v < bound {
+			return int(v % mask)
+		}
+	}
+}
+
+// Norm returns a standard normal variate (Box–Muller with caching).
+func (r *Rand) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// NormSlice fills out with independent standard normal variates.
+func (r *Rand) NormSlice(out []float64) {
+	for i := range out {
+		out[i] = r.Norm()
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,140 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split(1)
+	r2 := New(7)
+	s2 := r2.Split(2)
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("substreams collide: %d", collisions)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-0.4, 0.4)
+		if v < -0.4 || v >= 0.4 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for k, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(7) bucket %d grossly non-uniform: %d", k, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(4)
+	n := 200000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+		sum3 += v * v * v
+		sum4 += v * v * v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	skew := sum3 / float64(n)
+	kurt := sum4 / float64(n)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %g", variance)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Errorf("skewness = %g", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("kurtosis = %g", kurt)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormSliceFills(t *testing.T) {
+	r := New(6)
+	buf := make([]float64, 64)
+	r.NormSlice(buf)
+	zero := 0
+	for _, v := range buf {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatalf("NormSlice left %d zeros", zero)
+	}
+}

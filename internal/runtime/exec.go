@@ -1,0 +1,302 @@
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ExecOptions configures real (wall-clock) execution.
+type ExecOptions struct {
+	// Workers is the number of parallel workers; values < 1 mean 1.
+	Workers int
+}
+
+// Execute runs every task of the graph on a pool of workers, honoring the
+// inferred dependencies and preferring higher-priority ready tasks. It
+// returns an error if any task panics (the remaining tasks are drained
+// without running) or if the graph contains an unreachable task (which would
+// indicate a dependency-inference bug).
+func (g *Graph) Execute(opt ExecOptions) error {
+	return g.execute(opt, nil)
+}
+
+// execute is the shared engine behind Execute and ExecuteTraced.
+func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(g.tasks)
+	if n == 0 {
+		return nil
+	}
+
+	indeg := make([]int, n)
+	ready := &taskHeap{}
+	for i, t := range g.tasks {
+		indeg[i] = t.indegree
+		if t.indegree == 0 {
+			heap.Push(ready, t)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		done      int
+		failed    error
+		executing = true
+	)
+
+	runOne := func(t *Task) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("runtime: task %q (id %d) panicked: %v", t.Name, t.ID, r)
+			}
+		}()
+		if t.Run != nil {
+			t.Run()
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for ready.Len() == 0 && done < n && failed == nil && executing {
+					cond.Wait()
+				}
+				if done >= n || failed != nil || !executing {
+					mu.Unlock()
+					return
+				}
+				t := heap.Pop(ready).(*Task)
+				mu.Unlock()
+
+				var t0 time.Time
+				if rec != nil {
+					t0 = time.Now()
+				}
+				err := runOne(t)
+				if rec != nil {
+					rec.record(w, t, t0, time.Now())
+				}
+
+				mu.Lock()
+				if err != nil && failed == nil {
+					failed = err
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				done++
+				for _, s := range t.successors {
+					indeg[s]--
+					if indeg[s] == 0 {
+						heap.Push(ready, g.tasks[s])
+					}
+				}
+				if done >= n {
+					cond.Broadcast()
+				} else {
+					cond.Signal()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed != nil {
+		return failed
+	}
+	if done != n {
+		return fmt.Errorf("runtime: executed %d of %d tasks; dependency cycle or inference bug", done, n)
+	}
+	return nil
+}
+
+// taskHeap is a max-heap on task priority (ties broken by insertion order,
+// earlier first, to keep execution close to the sequential flow).
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].ID < h[j].ID
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// CostModel maps a task to its execution time in seconds on one worker of
+// the simulated machine.
+type CostModel func(*Task) float64
+
+// SimOptions configures the discrete-event simulated executor.
+type SimOptions struct {
+	Workers int
+	Cost    CostModel
+	// Barrier, when true, executes the DAG level by level (a task at
+	// topological depth d starts only after every task at depth < d has
+	// finished), modeling a bulk-synchronous fork-join schedule instead of
+	// out-of-order task flow. Used by the scheduling ablation.
+	Barrier bool
+}
+
+// Simulate performs list scheduling of the DAG on Workers homogeneous
+// workers under the given cost model and returns the makespan in seconds.
+// No task bodies run; only the declared costs matter.
+func (g *Graph) Simulate(opt SimOptions) float64 {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(g.tasks)
+	if n == 0 {
+		return 0
+	}
+	cost := opt.Cost
+	if cost == nil {
+		cost = func(t *Task) float64 { return t.Flops }
+	}
+	if opt.Barrier {
+		return g.simulateBarrier(workers, cost)
+	}
+
+	readyAt := make([]float64, n) // max finish time of predecessors
+	indeg := make([]int, n)
+	ready := &simHeap{}
+	for i, t := range g.tasks {
+		indeg[i] = t.indegree
+		if t.indegree == 0 {
+			heap.Push(ready, simEntry{task: t, ready: 0})
+		}
+	}
+	workerFree := make([]float64, workers)
+	var makespan float64
+	scheduled := 0
+	for scheduled < n {
+		if ready.Len() == 0 {
+			// should not happen for a well-formed DAG
+			panic("runtime: simulate deadlock — dependency cycle")
+		}
+		e := heap.Pop(ready).(simEntry)
+		// earliest-available worker
+		wi := 0
+		for i := 1; i < workers; i++ {
+			if workerFree[i] < workerFree[wi] {
+				wi = i
+			}
+		}
+		start := workerFree[wi]
+		if e.ready > start {
+			start = e.ready
+		}
+		finish := start + cost(e.task)
+		workerFree[wi] = finish
+		if finish > makespan {
+			makespan = finish
+		}
+		scheduled++
+		for _, s := range e.task.successors {
+			if readyAt[s] < finish {
+				readyAt[s] = finish
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(ready, simEntry{task: g.tasks[s], ready: readyAt[s]})
+			}
+		}
+	}
+	return makespan
+}
+
+// simulateBarrier schedules the DAG one topological level at a time with a
+// full synchronization between levels.
+func (g *Graph) simulateBarrier(workers int, cost CostModel) float64 {
+	n := len(g.tasks)
+	level := make([]int, n)
+	maxLevel := 0
+	for i, t := range g.tasks {
+		for _, d := range t.deps {
+			if level[d]+1 > level[i] {
+				level[i] = level[d] + 1
+			}
+		}
+		if level[i] > maxLevel {
+			maxLevel = level[i]
+		}
+	}
+	byLevel := make([][]*Task, maxLevel+1)
+	for i, t := range g.tasks {
+		byLevel[level[i]] = append(byLevel[level[i]], t)
+	}
+	var clock float64
+	workerFree := make([]float64, workers)
+	for _, tasks := range byLevel {
+		for i := range workerFree {
+			workerFree[i] = clock
+		}
+		levelEnd := clock
+		for _, t := range tasks {
+			wi := 0
+			for i := 1; i < workers; i++ {
+				if workerFree[i] < workerFree[wi] {
+					wi = i
+				}
+			}
+			workerFree[wi] += cost(t)
+			if workerFree[wi] > levelEnd {
+				levelEnd = workerFree[wi]
+			}
+		}
+		clock = levelEnd
+	}
+	return clock
+}
+
+type simEntry struct {
+	task  *Task
+	ready float64
+}
+
+// simHeap orders by readiness time, then priority, then ID. Scheduling the
+// earliest-ready task first approximates list scheduling well for the
+// homogeneous-worker shared-memory model.
+type simHeap []simEntry
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	if h[i].task.Priority != h[j].task.Priority {
+		return h[i].task.Priority > h[j].task.Priority
+	}
+	return h[i].task.ID < h[j].task.ID
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(simEntry)) }
+func (h *simHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,224 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDependencyInferenceRAW(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("a", 8, 0)
+	w := g.AddTask(Task{Name: "write", Accesses: []Access{{h, Write}}})
+	r := g.AddTask(Task{Name: "read", Accesses: []Access{{h, Read}}})
+	if got := g.Tasks()[r].Deps(); len(got) != 1 || got[0] != w {
+		t.Fatalf("read-after-write dep missing: %v", got)
+	}
+}
+
+func TestDependencyInferenceWARAndWAW(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("a", 8, 0)
+	w1 := g.AddTask(Task{Name: "w1", Accesses: []Access{{h, Write}}})
+	r1 := g.AddTask(Task{Name: "r1", Accesses: []Access{{h, Read}}})
+	r2 := g.AddTask(Task{Name: "r2", Accesses: []Access{{h, Read}}})
+	w2 := g.AddTask(Task{Name: "w2", Accesses: []Access{{h, ReadWrite}}})
+	deps := map[int]bool{}
+	for _, d := range g.Tasks()[w2].Deps() {
+		deps[d] = true
+	}
+	if !deps[r1] || !deps[r2] {
+		t.Fatalf("write-after-read deps missing: %v", g.Tasks()[w2].Deps())
+	}
+	// r1, r2 may run concurrently: they must not depend on each other.
+	for _, d := range g.Tasks()[r2].Deps() {
+		if d == r1 {
+			t.Fatal("two readers should not be ordered")
+		}
+	}
+	if len(g.Tasks()[r1].Deps()) != 1 || g.Tasks()[r1].Deps()[0] != w1 {
+		t.Fatal("reader should depend only on last writer")
+	}
+	_ = w1
+}
+
+func TestDependencyIndependentHandles(t *testing.T) {
+	g := NewGraph()
+	h1 := g.NewHandle("a", 8, 0)
+	h2 := g.NewHandle("b", 8, 0)
+	g.AddTask(Task{Name: "t1", Accesses: []Access{{h1, ReadWrite}}})
+	t2 := g.AddTask(Task{Name: "t2", Accesses: []Access{{h2, ReadWrite}}})
+	if len(g.Tasks()[t2].Deps()) != 0 {
+		t.Fatal("tasks on independent handles must not be ordered")
+	}
+}
+
+func TestExecuteRespectsOrder(t *testing.T) {
+	// A chain incrementing a counter: any reordering corrupts the value.
+	g := NewGraph()
+	h := g.NewHandle("x", 8, 0)
+	var x int64
+	const steps = 200
+	for i := 0; i < steps; i++ {
+		i := i
+		g.AddTask(Task{
+			Name: "inc",
+			Run: func() {
+				if atomic.LoadInt64(&x) != int64(i) {
+					panic("out of order")
+				}
+				atomic.AddInt64(&x, 1)
+			},
+			Accesses: []Access{{h, ReadWrite}},
+		})
+	}
+	if err := g.Execute(ExecOptions{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if x != steps {
+		t.Fatalf("x = %d, want %d", x, steps)
+	}
+}
+
+func TestExecuteParallelSum(t *testing.T) {
+	// Independent tasks write distinct handles, then one task reduces.
+	g := NewGraph()
+	const n = 100
+	vals := make([]int64, n)
+	handles := make([]*Handle, n)
+	for i := 0; i < n; i++ {
+		i := i
+		handles[i] = g.NewHandle("v", 8, 0)
+		g.AddTask(Task{
+			Name:     "fill",
+			Run:      func() { vals[i] = int64(i) },
+			Accesses: []Access{{handles[i], Write}},
+		})
+	}
+	var total int64
+	acc := make([]Access, n)
+	for i := range acc {
+		acc[i] = Access{handles[i], Read}
+	}
+	g.AddTask(Task{
+		Name: "reduce",
+		Run: func() {
+			var s int64
+			for _, v := range vals {
+				s += v
+			}
+			total = s
+		},
+		Accesses: acc,
+	})
+	if err := g.Execute(ExecOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if total != n*(n-1)/2 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestExecutePanicPropagates(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("a", 8, 0)
+	g.AddTask(Task{Name: "boom", Run: func() { panic("kaboom") }, Accesses: []Access{{h, Write}}})
+	g.AddTask(Task{Name: "after", Run: func() {}, Accesses: []Access{{h, Read}}})
+	err := g.Execute(ExecOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("expected error from panicking task")
+	}
+}
+
+func TestExecuteEmptyGraph(t *testing.T) {
+	if err := NewGraph().Execute(ExecOptions{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathAndTotals(t *testing.T) {
+	g := NewGraph()
+	a := g.NewHandle("a", 8, 0)
+	b := g.NewHandle("b", 8, 0)
+	g.AddTask(Task{Name: "t", Flops: 5, Accesses: []Access{{a, Write}}})
+	g.AddTask(Task{Name: "t", Flops: 7, Accesses: []Access{{b, Write}}})
+	g.AddTask(Task{Name: "u", Flops: 3, Accesses: []Access{{a, Read}, {b, Read}}})
+	if got := g.TotalFlops(); got != 15 {
+		t.Fatalf("total flops %g", got)
+	}
+	if got := g.CriticalPathFlops(); got != 10 {
+		t.Fatalf("critical path %g, want 10", got)
+	}
+	if g.CountByName()["t"] != 2 || g.CountByName()["u"] != 1 {
+		t.Fatalf("counts: %v", g.CountByName())
+	}
+}
+
+func TestSimulateScalesWithWorkers(t *testing.T) {
+	// 100 independent unit tasks: 1 worker -> 100, 10 workers -> 10.
+	g := NewGraph()
+	for i := 0; i < 100; i++ {
+		h := g.NewHandle("v", 8, 0)
+		g.AddTask(Task{Name: "unit", Flops: 1, Accesses: []Access{{h, Write}}})
+	}
+	if got := g.Simulate(SimOptions{Workers: 1}); got != 100 {
+		t.Fatalf("1 worker: %g", got)
+	}
+	if got := g.Simulate(SimOptions{Workers: 10}); got != 10 {
+		t.Fatalf("10 workers: %g", got)
+	}
+}
+
+func TestSimulateRespectsChain(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("x", 8, 0)
+	for i := 0; i < 20; i++ {
+		g.AddTask(Task{Name: "step", Flops: 2, Accesses: []Access{{h, ReadWrite}}})
+	}
+	if got := g.Simulate(SimOptions{Workers: 16}); got != 40 {
+		t.Fatalf("chain makespan %g, want 40", got)
+	}
+}
+
+func TestSimulateBarrierSlower(t *testing.T) {
+	// Diamond-heavy DAG: barrier scheduling can only be slower or equal.
+	g := NewGraph()
+	hs := make([]*Handle, 8)
+	for i := range hs {
+		hs[i] = g.NewHandle("h", 8, 0)
+		g.AddTask(Task{Name: "a", Flops: float64(1 + i), Accesses: []Access{{hs[i], Write}}})
+	}
+	for i := range hs {
+		g.AddTask(Task{Name: "b", Flops: float64(8 - i), Accesses: []Access{{hs[i], ReadWrite}}})
+	}
+	async := g.Simulate(SimOptions{Workers: 3})
+	bsp := g.Simulate(SimOptions{Workers: 3, Barrier: true})
+	if bsp < async {
+		t.Fatalf("barrier schedule faster than async: %g < %g", bsp, async)
+	}
+}
+
+func TestSimulateCustomCost(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("x", 8, 0)
+	g.AddTask(Task{Name: "k", Flops: 1e9, Accesses: []Access{{h, Write}}})
+	got := g.Simulate(SimOptions{Workers: 1, Cost: func(t *Task) float64 { return t.Flops / 1e9 }})
+	if got != 1 {
+		t.Fatalf("cost model ignored: %g", got)
+	}
+}
+
+func TestPriorityOrdersReadyTasks(t *testing.T) {
+	// With one worker, the higher-priority independent task runs first.
+	g := NewGraph()
+	order := make([]string, 0, 2)
+	h1 := g.NewHandle("a", 8, 0)
+	h2 := g.NewHandle("b", 8, 0)
+	g.AddTask(Task{Name: "low", Priority: 0, Run: func() { order = append(order, "low") }, Accesses: []Access{{h1, Write}}})
+	g.AddTask(Task{Name: "high", Priority: 5, Run: func() { order = append(order, "high") }, Accesses: []Access{{h2, Write}}})
+	if err := g.Execute(ExecOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "high" {
+		t.Fatalf("priority ignored: %v", order)
+	}
+}

@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceEvent records one task execution.
+type TraceEvent struct {
+	Task   string
+	ID     int
+	Worker int
+	Start  time.Duration // offset from execution start
+	End    time.Duration
+}
+
+// Trace is the execution record of a graph run, the observability layer
+// StarPU provides via its FXT traces.
+type Trace struct {
+	Workers int
+	Wall    time.Duration
+	Events  []TraceEvent
+}
+
+// ExecuteTraced runs the graph like Execute while recording per-task timing.
+func (g *Graph) ExecuteTraced(opt ExecOptions) (*Trace, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	tr := &Trace{Workers: workers}
+	rec := &recorder{base: time.Now(), events: make([][]TraceEvent, workers)}
+	start := time.Now()
+	err := g.execute(opt, rec)
+	tr.Wall = time.Since(start)
+	for _, evs := range rec.events {
+		tr.Events = append(tr.Events, evs...)
+	}
+	sort.Slice(tr.Events, func(i, j int) bool { return tr.Events[i].Start < tr.Events[j].Start })
+	return tr, err
+}
+
+// recorder collects events per worker without cross-worker locking.
+type recorder struct {
+	base   time.Time
+	events [][]TraceEvent
+}
+
+func (r *recorder) record(worker int, t *Task, start, end time.Time) {
+	r.events[worker] = append(r.events[worker], TraceEvent{
+		Task:   t.Name,
+		ID:     t.ID,
+		Worker: worker,
+		Start:  start.Sub(r.base),
+		End:    end.Sub(r.base),
+	})
+}
+
+// BusyTime returns the summed task durations (all workers).
+func (tr *Trace) BusyTime() time.Duration {
+	var d time.Duration
+	for _, e := range tr.Events {
+		d += e.End - e.Start
+	}
+	return d
+}
+
+// Utilization returns busy time / (workers × wall), in [0, 1] modulo timer
+// noise.
+func (tr *Trace) Utilization() float64 {
+	if tr.Wall <= 0 || tr.Workers == 0 {
+		return 0
+	}
+	return float64(tr.BusyTime()) / (float64(tr.Wall) * float64(tr.Workers))
+}
+
+// ByKernel aggregates busy time per task name.
+func (tr *Trace) ByKernel() map[string]time.Duration {
+	m := make(map[string]time.Duration)
+	for _, e := range tr.Events {
+		m[e.Task] += e.End - e.Start
+	}
+	return m
+}
+
+// Gantt renders an ASCII timeline, one row per worker; each task paints the
+// first letter of its name over its time span.
+func (tr *Trace) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if tr.Wall <= 0 || len(tr.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	rows := make([][]byte, tr.Workers)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / float64(tr.Wall)
+	for _, e := range tr.Events {
+		if e.Worker < 0 || e.Worker >= tr.Workers {
+			continue
+		}
+		s := int(float64(e.Start) * scale)
+		t := int(float64(e.End) * scale)
+		if t >= width {
+			t = width - 1
+		}
+		mark := byte('?')
+		if len(e.Task) > 0 {
+			mark = e.Task[0]
+		}
+		for c := s; c <= t; c++ {
+			rows[e.Worker][c] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall %v, %d tasks, utilization %.0f%%\n", tr.Wall.Round(time.Microsecond), len(tr.Events), 100*tr.Utilization())
+	for i, row := range rows {
+		fmt.Fprintf(&b, "w%-2d |%s|\n", i, row)
+	}
+	return b.String()
+}

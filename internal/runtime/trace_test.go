@@ -1,0 +1,120 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func busyGraph(tasks int) *Graph {
+	g := NewGraph()
+	for i := 0; i < tasks; i++ {
+		h := g.NewHandle("v", 8, 0)
+		g.AddTask(Task{
+			Name: "work",
+			Run: func() {
+				// a small but measurable task body
+				s := 0.0
+				for k := 0; k < 20000; k++ {
+					s += float64(k)
+				}
+				_ = s
+			},
+			Accesses: []Access{{h, Write}},
+		})
+	}
+	return g
+}
+
+func TestExecuteTracedRecordsAllTasks(t *testing.T) {
+	g := busyGraph(24)
+	tr, err := g.ExecuteTraced(ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 24 {
+		t.Fatalf("recorded %d events, want 24", len(tr.Events))
+	}
+	seen := map[int]bool{}
+	for _, e := range tr.Events {
+		if e.End < e.Start {
+			t.Fatalf("event ends before it starts: %+v", e)
+		}
+		if e.Worker < 0 || e.Worker >= 4 {
+			t.Fatalf("bad worker id %d", e.Worker)
+		}
+		if seen[e.ID] {
+			t.Fatalf("task %d recorded twice", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if tr.Wall <= 0 {
+		t.Fatal("wall time missing")
+	}
+}
+
+func TestTraceUtilizationBounds(t *testing.T) {
+	g := busyGraph(40)
+	tr, err := g.ExecuteTraced(ExecOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := tr.Utilization()
+	if u <= 0 || u > 1.3 { // >1 only via timer quantization noise
+		t.Fatalf("utilization %g out of bounds", u)
+	}
+	if tr.BusyTime() <= 0 {
+		t.Fatal("busy time missing")
+	}
+}
+
+func TestTraceByKernel(t *testing.T) {
+	g := NewGraph()
+	h1 := g.NewHandle("a", 8, 0)
+	h2 := g.NewHandle("b", 8, 0)
+	g.AddTask(Task{Name: "alpha", Run: func() { time.Sleep(time.Millisecond) }, Accesses: []Access{{h1, Write}}})
+	g.AddTask(Task{Name: "beta", Run: func() { time.Sleep(time.Millisecond) }, Accesses: []Access{{h2, Write}}})
+	tr, err := g.ExecuteTraced(ExecOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byK := tr.ByKernel()
+	if byK["alpha"] <= 0 || byK["beta"] <= 0 {
+		t.Fatalf("kernel aggregation missing entries: %v", byK)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g := busyGraph(10)
+	tr, err := g.ExecuteTraced(ExecOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Gantt(60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 workers
+		t.Fatalf("gantt rows: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "utilization") {
+		t.Fatalf("gantt header missing: %s", lines[0])
+	}
+	if !strings.Contains(out, "w") || !strings.Contains(out, "|") {
+		t.Fatal("gantt body malformed")
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	tr := &Trace{Workers: 2}
+	if !strings.Contains(tr.Gantt(40), "empty") {
+		t.Fatal("empty trace should render a placeholder")
+	}
+}
+
+func TestExecuteTracedPropagatesErrors(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("a", 8, 0)
+	g.AddTask(Task{Name: "boom", Run: func() { panic("x") }, Accesses: []Access{{h, Write}}})
+	if _, err := g.ExecuteTraced(ExecOptions{Workers: 1}); err == nil {
+		t.Fatal("expected error from panicking task")
+	}
+}

@@ -1,0 +1,208 @@
+package tile
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+	"repro/internal/runtime"
+)
+
+// FlopsPOTRF etc. are the classical per-tile flop counts used both for task
+// priorities and for the simulated executors.
+func FlopsPOTRF(nb int) float64 { f := float64(nb); return f * f * f / 3 }
+
+// FlopsTRSM is the cost of a triangular solve with an nb×nb factor applied
+// to an m×nb (or nb×m) panel.
+func FlopsTRSM(nb, m int) float64 { return float64(nb) * float64(nb) * float64(m) }
+
+// FlopsSYRK is the cost of an nb×nb symmetric rank-k update with k columns.
+func FlopsSYRK(nb, k int) float64 { return float64(nb) * float64(nb) * float64(k) }
+
+// FlopsGEMM is the cost of an (m×k)·(k×n) multiply-accumulate.
+func FlopsGEMM(m, k, n int) float64 { return 2 * float64(m) * float64(k) * float64(n) }
+
+// BuildCholeskyGraph inserts the tiled right-looking Cholesky DAG
+// (POTRF/TRSM/SYRK/GEMM per tile, the Chameleon dpotrf algorithm) into a new
+// graph. When bind is true the tasks carry real Run closures mutating m in
+// place; otherwise the graph is structural only (used by the distributed
+// simulator). Handles are tagged with i*MT+j so owners can be derived.
+func BuildCholeskyGraph(m *SymMatrix, bind bool) (*runtime.Graph, [][]*runtime.Handle) {
+	g := runtime.NewGraph()
+	hs := make([][]*runtime.Handle, m.MT)
+	for i := 0; i < m.MT; i++ {
+		hs[i] = make([]*runtime.Handle, i+1)
+		for j := 0; j <= i; j++ {
+			bytes := int64(m.TileDim(i)) * int64(m.TileDim(j)) * 8
+			hs[i][j] = g.NewHandle(fmt.Sprintf("A[%d,%d]", i, j), bytes, int64(i)*int64(m.MT)+int64(j))
+		}
+	}
+	mt := m.MT
+	for k := 0; k < mt; k++ {
+		k := k
+		nbk := m.TileDim(k)
+		var run func()
+		if bind {
+			akk := m.Tile(k, k)
+			run = func() {
+				if err := la.Potrf(akk); err != nil {
+					panic(err)
+				}
+			}
+		}
+		g.AddTask(runtime.Task{
+			Name:     "potrf",
+			Flops:    FlopsPOTRF(nbk),
+			Priority: 3 * (mt - k), // panel tasks drive the critical path
+			Run:      run,
+			Accesses: []runtime.Access{{Handle: hs[k][k], Mode: runtime.ReadWrite}},
+		})
+		for i := k + 1; i < mt; i++ {
+			i := i
+			var runT func()
+			if bind {
+				akk := m.Tile(k, k)
+				aik := m.Tile(i, k)
+				runT = func() { la.Trsm(la.Right, la.Lower, la.Transpose, 1, akk, aik) }
+			}
+			g.AddTask(runtime.Task{
+				Name:     "trsm",
+				Flops:    FlopsTRSM(nbk, m.TileDim(i)),
+				Priority: 2 * (mt - i),
+				Run:      runT,
+				Accesses: []runtime.Access{
+					{Handle: hs[k][k], Mode: runtime.Read},
+					{Handle: hs[i][k], Mode: runtime.ReadWrite},
+				},
+			})
+		}
+		for i := k + 1; i < mt; i++ {
+			i := i
+			var runS func()
+			if bind {
+				aik := m.Tile(i, k)
+				aii := m.Tile(i, i)
+				runS = func() { la.Syrk(la.Lower, -1, aik, la.NoTrans, 1, aii) }
+			}
+			g.AddTask(runtime.Task{
+				Name:  "syrk",
+				Flops: FlopsSYRK(m.TileDim(i), nbk),
+				Run:   runS,
+				Accesses: []runtime.Access{
+					{Handle: hs[i][k], Mode: runtime.Read},
+					{Handle: hs[i][i], Mode: runtime.ReadWrite},
+				},
+			})
+			for j := k + 1; j < i; j++ {
+				j := j
+				var runG func()
+				if bind {
+					aik := m.Tile(i, k)
+					ajk := m.Tile(j, k)
+					aij := m.Tile(i, j)
+					runG = func() { la.Gemm(-1, aik, la.NoTrans, ajk, la.Transpose, 1, aij) }
+				}
+				g.AddTask(runtime.Task{
+					Name:  "gemm",
+					Flops: FlopsGEMM(m.TileDim(i), nbk, m.TileDim(j)),
+					Run:   runG,
+					Accesses: []runtime.Access{
+						{Handle: hs[i][k], Mode: runtime.Read},
+						{Handle: hs[j][k], Mode: runtime.Read},
+						{Handle: hs[i][j], Mode: runtime.ReadWrite},
+					},
+				})
+			}
+		}
+	}
+	return g, hs
+}
+
+// Cholesky factors m in place (lower tiles hold L on return) using the task
+// runtime with the given worker count. It returns la.ErrNotPositiveDefinite
+// (wrapped) if a diagonal pivot fails.
+func Cholesky(m *SymMatrix, workers int) error {
+	g, _ := BuildCholeskyGraph(m, true)
+	return g.Execute(runtime.ExecOptions{Workers: workers})
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii from a factored matrix.
+func (m *SymMatrix) LogDet() float64 {
+	var s float64
+	for i := 0; i < m.MT; i++ {
+		s += la.LogDetFromChol(m.Tile(i, i))
+	}
+	// LogDetFromChol already multiplies by 2 per tile
+	return s
+}
+
+// BuildForwardSolveGraph inserts the tiled forward substitution L·x = b
+// (x overwrites b) into a new graph; bind as in BuildCholeskyGraph.
+func BuildForwardSolveGraph(m *SymMatrix, b *Vector, bind bool) *runtime.Graph {
+	g := runtime.NewGraph()
+	lh := make([][]*runtime.Handle, m.MT)
+	bh := make([]*runtime.Handle, m.MT)
+	for i := 0; i < m.MT; i++ {
+		lh[i] = make([]*runtime.Handle, i+1)
+		for j := 0; j <= i; j++ {
+			lh[i][j] = g.NewHandle(fmt.Sprintf("L[%d,%d]", i, j), int64(m.TileDim(i))*int64(m.TileDim(j))*8, int64(i)*int64(m.MT)+int64(j))
+		}
+		bh[i] = g.NewHandle(fmt.Sprintf("b[%d]", i), int64(m.TileDim(i))*8, int64(i)*int64(m.MT)+int64(i))
+	}
+	for i := 0; i < m.MT; i++ {
+		for j := 0; j < i; j++ {
+			i, j := i, j
+			var run func()
+			if bind {
+				lij := m.Tile(i, j)
+				run = func() { la.Gemm(-1, lij, la.NoTrans, b.Seg(j), la.NoTrans, 1, b.Seg(i)) }
+			}
+			g.AddTask(runtime.Task{
+				Name:  "gemv",
+				Flops: FlopsGEMM(m.TileDim(i), m.TileDim(j), 1),
+				Run:   run,
+				Accesses: []runtime.Access{
+					{Handle: lh[i][j], Mode: runtime.Read},
+					{Handle: bh[j], Mode: runtime.Read},
+					{Handle: bh[i], Mode: runtime.ReadWrite},
+				},
+			})
+		}
+		i := i
+		var run func()
+		if bind {
+			lii := m.Tile(i, i)
+			run = func() { la.Trsm(la.Left, la.Lower, la.NoTrans, 1, lii, b.Seg(i)) }
+		}
+		g.AddTask(runtime.Task{
+			Name:     "trsv",
+			Flops:    float64(m.TileDim(i)) * float64(m.TileDim(i)),
+			Priority: 1,
+			Run:      run,
+			Accesses: []runtime.Access{
+				{Handle: lh[i][i], Mode: runtime.Read},
+				{Handle: bh[i], Mode: runtime.ReadWrite},
+			},
+		})
+	}
+	return g
+}
+
+// ForwardSolve solves L·x = b in place over the runtime.
+func ForwardSolve(m *SymMatrix, b []float64, workers int) error {
+	v := NewVector(b, m.NB)
+	g := BuildForwardSolveGraph(m, v, true)
+	return g.Execute(runtime.ExecOptions{Workers: workers})
+}
+
+// BackwardSolve solves Lᵀ·x = b in place (sequential tile loop; the backward
+// sweep is cheap relative to factorization and used only on vectors).
+func BackwardSolve(m *SymMatrix, b []float64) {
+	v := NewVector(b, m.NB)
+	for i := m.MT - 1; i >= 0; i-- {
+		for j := m.MT - 1; j > i; j-- {
+			// b_i -= L[j][i]^T b_j
+			la.Gemm(-1, m.Tile(j, i), la.Transpose, v.Seg(j), la.NoTrans, 1, v.Seg(i))
+		}
+		la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.Tile(i, i), v.Seg(i))
+	}
+}

@@ -1,0 +1,41 @@
+package tile
+
+import (
+	"repro/internal/la"
+)
+
+// rowBlock returns the view of rows [i·NB, i·NB+TileDim(i)) of b.
+func (m *SymMatrix) rowBlock(b *la.Mat, i int) *la.Mat {
+	return b.View(i*m.NB, 0, m.TileDim(i), b.Cols)
+}
+
+// ForwardSolveMat solves L·X = B in place for a factored matrix, where B is
+// n×r (multi-RHS). The sweep is sequential over tile rows; each update is a
+// BLAS3 call, so the multi-RHS form amortizes the factor traffic across
+// columns — the shape the prediction-variance computation needs.
+func (m *SymMatrix) ForwardSolveMat(b *la.Mat) {
+	if b.Rows != m.N {
+		panic("tile: ForwardSolveMat row mismatch")
+	}
+	for i := 0; i < m.MT; i++ {
+		bi := m.rowBlock(b, i)
+		for j := 0; j < i; j++ {
+			la.Gemm(-1, m.Tile(i, j), la.NoTrans, m.rowBlock(b, j), la.NoTrans, 1, bi)
+		}
+		la.Trsm(la.Left, la.Lower, la.NoTrans, 1, m.Tile(i, i), bi)
+	}
+}
+
+// BackwardSolveMat solves Lᵀ·X = B in place for a factored matrix (B n×r).
+func (m *SymMatrix) BackwardSolveMat(b *la.Mat) {
+	if b.Rows != m.N {
+		panic("tile: BackwardSolveMat row mismatch")
+	}
+	for i := m.MT - 1; i >= 0; i-- {
+		bi := m.rowBlock(b, i)
+		for j := m.MT - 1; j > i; j-- {
+			la.Gemm(-1, m.Tile(j, i), la.Transpose, m.rowBlock(b, j), la.NoTrans, 1, bi)
+		}
+		la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.Tile(i, i), bi)
+	}
+}

@@ -1,0 +1,61 @@
+package tile
+
+import (
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+func TestSolveMatMatchesDenseCholesky(t *testing.T) {
+	n := 50
+	a := spd(n, 51)
+	ref := a.Clone()
+	if err := la.Potrf(ref); err != nil {
+		t.Fatal(err)
+	}
+	m := FromDense(a, 12)
+	if err := Cholesky(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(52)
+	const nrhs = 4
+	b := la.NewMat(n, nrhs)
+	for i := range b.Data {
+		b.Data[i] = r.Norm()
+	}
+	want := b.Clone()
+	la.Trsm(la.Left, la.Lower, la.NoTrans, 1, ref, want)
+	la.Trsm(la.Left, la.Lower, la.Transpose, 1, ref, want)
+	got := b.Clone()
+	m.ForwardSolveMat(got)
+	m.BackwardSolveMat(got)
+	if !got.Equalish(want, 1e-8) {
+		t.Fatal("tile multi-RHS solve disagrees with dense")
+	}
+}
+
+func TestForwardSolveMatMatchesVector(t *testing.T) {
+	n := 37
+	a := spd(n, 53)
+	m := FromDense(a, 10)
+	if err := Cholesky(m, 2); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(54)
+	col := make([]float64, n)
+	r.NormSlice(col)
+	b := la.NewMat(n, 1)
+	for i, v := range col {
+		b.Set(i, 0, v)
+	}
+	if err := ForwardSolve(m, col, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.ForwardSolveMat(b)
+	for i := 0; i < n; i++ {
+		if d := b.At(i, 0) - col[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("matrix and vector forward solves disagree at %d", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package tlr
+
+import (
+	"repro/internal/la"
+)
+
+// AddLowRank performs C ← recompress(C + alpha·X·Yᵀ, tol), the workhorse of
+// TLR GEMM. X and Y must have the same number of columns (the update rank).
+// The recompression is the QR+SVD scheme: stack the factors, orthogonalize,
+// and truncate the small core back to the accuracy threshold.
+func AddLowRank(c *CompTile, alpha float64, x, y *la.Mat, tol float64) *CompTile {
+	if x.Cols != y.Cols {
+		panic("tlr: AddLowRank rank mismatch between X and Y")
+	}
+	kc, kx := c.Rank(), x.Cols
+	m, n := c.Rows(), c.Cols()
+	if x.Rows != m || y.Rows != n {
+		panic("tlr: AddLowRank dimension mismatch")
+	}
+	u := la.NewMat(m, kc+kx)
+	v := la.NewMat(n, kc+kx)
+	for i := 0; i < m; i++ {
+		copy(u.Row(i)[:kc], c.U.Row(i))
+		xr := x.Row(i)
+		for j := 0; j < kx; j++ {
+			u.Row(i)[kc+j] = alpha * xr[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		copy(v.Row(i)[:kc], c.V.Row(i))
+		copy(v.Row(i)[kc:], y.Row(i))
+	}
+	return Recompress(&CompTile{U: u, V: v}, tol)
+}
+
+// GemmLL computes C ← recompress(C − A·Bᵀ, tol) where A, B, C are all
+// compressed tiles (the TLR Schur-complement update of the Cholesky
+// trailing submatrix: C_ij −= A_ik·A_jkᵀ).
+//
+// The product of two low-rank tiles is itself low-rank:
+// (Ua·Vaᵀ)(Ub·Vbᵀ)ᵀ = Ua·(Vaᵀ·Vb)·Ubᵀ, with rank min(ka, kb).
+func GemmLL(c, a, b *CompTile, tol float64) *CompTile {
+	ka, kb := a.Rank(), b.Rank()
+	// W = Vaᵀ·Vb  (ka×kb) — both share the contraction dimension.
+	if a.V.Rows != b.V.Rows {
+		panic("tlr: GemmLL contraction dimension mismatch")
+	}
+	w := la.NewMat(ka, kb)
+	la.Gemm(1, a.V, la.Transpose, b.V, la.NoTrans, 0, w)
+	var x, y *la.Mat
+	if ka <= kb {
+		// X = Ua, Y = Ub·Wᵀ (rank ka)
+		x = a.U
+		y = la.NewMat(b.U.Rows, ka)
+		la.Gemm(1, b.U, la.NoTrans, w, la.Transpose, 0, y)
+	} else {
+		// X = Ua·W (rank kb), Y = Ub
+		x = la.NewMat(a.U.Rows, kb)
+		la.Gemm(1, a.U, la.NoTrans, w, la.NoTrans, 0, x)
+		y = b.U
+	}
+	return AddLowRank(c, -1, x, y, tol)
+}
+
+// SyrkLD updates a dense diagonal tile from a compressed panel tile:
+// C ← C − A·Aᵀ = C − Ua·(Vaᵀ·Va)·Uaᵀ. Only the lower triangle of C is
+// meaningful afterwards (matching la.Syrk semantics the dense path uses).
+func SyrkLD(c *la.Mat, a *CompTile) {
+	k := a.Rank()
+	w := la.NewMat(k, k)
+	la.Gemm(1, a.V, la.Transpose, a.V, la.NoTrans, 0, w)
+	t := la.NewMat(a.U.Rows, k)
+	la.Gemm(1, a.U, la.NoTrans, w, la.NoTrans, 0, t)
+	// C -= T·Uaᵀ; use full gemm then rely on lower-triangle readers.
+	la.Gemm(-1, t, la.NoTrans, a.U, la.Transpose, 1, c)
+}
+
+// TrsmLD applies the panel triangular solve to a compressed tile:
+// A_ik ← A_ik · L_kk^{-T}. Since A = U·Vᵀ, only V changes:
+// U·Vᵀ·L^{-T} = U·(L^{-1}·V)ᵀ, i.e. V ← L^{-1}·V.
+func TrsmLD(l *la.Mat, a *CompTile) {
+	la.Trsm(la.Left, la.Lower, la.NoTrans, 1, l, a.V)
+}
+
+// MatVec computes y += alpha · (U·Vᵀ) · x for a compressed tile.
+func MatVec(a *CompTile, alpha float64, x, y []float64) {
+	k := a.Rank()
+	tmp := make([]float64, k)
+	la.Gemv(1, a.V, la.Transpose, x, 0, tmp)
+	la.Gemv(alpha, a.U, la.NoTrans, tmp, 1, y)
+}
+
+// MatVecT computes y += alpha · (U·Vᵀ)ᵀ · x = alpha · V·(Uᵀx).
+func MatVecT(a *CompTile, alpha float64, x, y []float64) {
+	k := a.Rank()
+	tmp := make([]float64, k)
+	la.Gemv(1, a.U, la.Transpose, x, 0, tmp)
+	la.Gemv(alpha, a.V, la.NoTrans, tmp, 1, y)
+}

@@ -1,0 +1,348 @@
+package tlr
+
+import (
+	"fmt"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/runtime"
+	"repro/internal/tile"
+)
+
+// Matrix is an n×n symmetric matrix in TLR format: dense diagonal tiles and
+// compressed (U·Vᵀ) strictly-lower tiles, mirrored implicitly to the upper
+// triangle. Tol is the accuracy threshold every compressed tile satisfies
+// and that all TLR arithmetic maintains.
+type Matrix struct {
+	N   int
+	NB  int
+	MT  int
+	Tol float64
+
+	diag []*la.Mat
+	off  [][]*CompTile // off[i][j] valid for j < i
+}
+
+// NewMatrix allocates an empty TLR matrix shell.
+func NewMatrix(n, nb int, tol float64) *Matrix {
+	if n <= 0 || nb <= 0 {
+		panic(fmt.Sprintf("tlr: invalid dims n=%d nb=%d", n, nb))
+	}
+	mt := (n + nb - 1) / nb
+	m := &Matrix{N: n, NB: nb, MT: mt, Tol: tol}
+	m.diag = make([]*la.Mat, mt)
+	m.off = make([][]*CompTile, mt)
+	for i := range m.off {
+		m.off[i] = make([]*CompTile, i)
+	}
+	return m
+}
+
+// TileDim returns the edge of tile row i.
+func (m *Matrix) TileDim(i int) int {
+	d := m.N - i*m.NB
+	if d > m.NB {
+		d = m.NB
+	}
+	return d
+}
+
+// Diag returns dense diagonal tile i.
+func (m *Matrix) Diag(i int) *la.Mat { return m.diag[i] }
+
+// Off returns compressed tile (i, j), j < i.
+func (m *Matrix) Off(i, j int) *CompTile { return m.off[i][j] }
+
+// FromKernel assembles and compresses the covariance matrix Σ(θ) for pts:
+// diagonal tiles stay dense; each off-diagonal tile is generated densely and
+// immediately compressed with comp (the HiCMA "generate + compress"
+// pipeline). A nugget is added to the diagonal.
+func FromKernel(k *cov.Kernel, pts []geom.Point, metric geom.Metric, n, nb int, tol float64, comp Compressor, nugget float64) *Matrix {
+	if len(pts) != n {
+		panic(fmt.Sprintf("tlr: %d points for n=%d", len(pts), n))
+	}
+	m := NewMatrix(n, nb, tol)
+	for i := 0; i < m.MT; i++ {
+		ri := pts[i*nb : i*nb+m.TileDim(i)]
+		d := la.NewMat(m.TileDim(i), m.TileDim(i))
+		k.Block(d, ri, ri, metric)
+		for a := 0; a < d.Rows; a++ {
+			d.Set(a, a, d.At(a, a)+nugget)
+		}
+		m.diag[i] = d
+		for j := 0; j < i; j++ {
+			rj := pts[j*nb : j*nb+m.TileDim(j)]
+			dense := la.NewMat(m.TileDim(i), m.TileDim(j))
+			k.Block(dense, ri, rj, metric)
+			m.off[i][j] = comp.Compress(dense, tol)
+		}
+	}
+	return m
+}
+
+// FromDense compresses an existing dense symmetric matrix into TLR format
+// (testing and small-problem interop).
+func FromDense(a *la.Mat, nb int, tol float64, comp Compressor) *Matrix {
+	if a.Rows != a.Cols {
+		panic("tlr: FromDense requires a square matrix")
+	}
+	m := NewMatrix(a.Rows, nb, tol)
+	for i := 0; i < m.MT; i++ {
+		di := m.TileDim(i)
+		m.diag[i] = a.View(i*nb, i*nb, di, di).Clone()
+		for j := 0; j < i; j++ {
+			m.off[i][j] = comp.Compress(a.View(i*nb, j*nb, di, m.TileDim(j)), tol)
+		}
+	}
+	return m
+}
+
+// ToDense reconstructs the full symmetric dense matrix.
+func (m *Matrix) ToDense() *la.Mat {
+	out := la.NewMat(m.N, m.N)
+	for i := 0; i < m.MT; i++ {
+		d := m.diag[i]
+		for a := 0; a < d.Rows; a++ {
+			for b := 0; b < d.Cols; b++ {
+				out.Set(i*m.NB+a, i*m.NB+b, d.At(a, b))
+			}
+		}
+		for j := 0; j < i; j++ {
+			t := m.off[i][j].Dense()
+			for a := 0; a < t.Rows; a++ {
+				for b := 0; b < t.Cols; b++ {
+					out.Set(i*m.NB+a, j*m.NB+b, t.At(a, b))
+					out.Set(j*m.NB+b, i*m.NB+a, t.At(a, b))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Bytes returns the TLR storage footprint.
+func (m *Matrix) Bytes() int64 {
+	var b int64
+	for _, d := range m.diag {
+		b += int64(d.Rows) * int64(d.Cols) * 8
+	}
+	for i := range m.off {
+		for _, t := range m.off[i] {
+			if t != nil {
+				b += t.Bytes()
+			}
+		}
+	}
+	return b
+}
+
+// DenseBytes returns the footprint the same matrix would need uncompressed
+// (lower triangle + diagonal, the tile storage the dense path uses).
+func (m *Matrix) DenseBytes() int64 {
+	var b int64
+	for i := 0; i < m.MT; i++ {
+		di := int64(m.TileDim(i))
+		b += di * di * 8
+		for j := 0; j < i; j++ {
+			b += di * int64(m.TileDim(j)) * 8
+		}
+	}
+	return b
+}
+
+// RankStats returns the max and mean rank over the compressed tiles.
+func (m *Matrix) RankStats() (maxRank int, meanRank float64) {
+	var sum, cnt int
+	for i := range m.off {
+		for _, t := range m.off[i] {
+			if t == nil {
+				continue
+			}
+			k := t.Rank()
+			if k > maxRank {
+				maxRank = k
+			}
+			sum += k
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		meanRank = float64(sum) / float64(cnt)
+	}
+	return maxRank, meanRank
+}
+
+// flopsTRSMComp estimates the flops of the TLR panel solve on a tile of
+// rank k: a triangular solve applied to an nb×k V factor.
+func flopsTRSMComp(nb, k int) float64 { return float64(nb) * float64(nb) * float64(k) }
+
+// flopsSYRKComp estimates the compressed SYRK cost.
+func flopsSYRKComp(nb, k int) float64 {
+	return 2*float64(k)*float64(k)*float64(nb) + 2*float64(nb)*float64(nb)*float64(k)
+}
+
+// flopsGEMMComp estimates the compressed GEMM + recompression cost for
+// operand ranks ka, kb and output rank kc.
+func flopsGEMMComp(nb, ka, kb, kc int) float64 {
+	ks := float64(ka + kb + kc)
+	// contraction + two tall QRs + small SVD ~ O(nb·k²) + O(k³)
+	return 2*float64(nb)*ks*ks + ks*ks*ks
+}
+
+// BuildCholeskyGraph inserts the TLR Cholesky DAG into a new graph. The DAG
+// has the same shape as the dense tiled one; only the per-task kernels (and
+// costs) differ. When bind is true the tasks mutate m in place.
+func BuildCholeskyGraph(m *Matrix, bind bool) *runtime.Graph {
+	g := runtime.NewGraph()
+	dh := make([]*runtime.Handle, m.MT)
+	oh := make([][]*runtime.Handle, m.MT)
+	for i := 0; i < m.MT; i++ {
+		di := int64(m.TileDim(i))
+		dh[i] = g.NewHandle(fmt.Sprintf("D[%d]", i), di*di*8, int64(i)*int64(m.MT)+int64(i))
+		oh[i] = make([]*runtime.Handle, i)
+		for j := 0; j < i; j++ {
+			var bytes int64
+			if m.off[i][j] != nil {
+				bytes = m.off[i][j].Bytes()
+			}
+			oh[i][j] = g.NewHandle(fmt.Sprintf("C[%d,%d]", i, j), bytes, int64(i)*int64(m.MT)+int64(j))
+		}
+	}
+	rank := func(i, j int) int {
+		if m.off[i][j] != nil {
+			return m.off[i][j].Rank()
+		}
+		// structural graphs assume a nominal rank for costing
+		return m.NB / 8
+	}
+	mt := m.MT
+	for k := 0; k < mt; k++ {
+		k := k
+		var run func()
+		if bind {
+			d := m.diag[k]
+			run = func() {
+				if err := la.Potrf(d); err != nil {
+					panic(err)
+				}
+			}
+		}
+		g.AddTask(runtime.Task{
+			Name:     "potrf",
+			Flops:    tile.FlopsPOTRF(m.TileDim(k)),
+			Priority: 3 * (mt - k),
+			Run:      run,
+			Accesses: []runtime.Access{{Handle: dh[k], Mode: runtime.ReadWrite}},
+		})
+		for i := k + 1; i < mt; i++ {
+			i := i
+			var runT func()
+			if bind {
+				// dereference at run time: earlier GEMM tasks replace the
+				// CompTile object stored in m.off[i][k]
+				runT = func() { TrsmLD(m.diag[k], m.off[i][k]) }
+			}
+			g.AddTask(runtime.Task{
+				Name:     "trsm",
+				Flops:    flopsTRSMComp(m.TileDim(k), rank(i, k)),
+				Priority: 2 * (mt - i),
+				Run:      runT,
+				Accesses: []runtime.Access{
+					{Handle: dh[k], Mode: runtime.Read},
+					{Handle: oh[i][k], Mode: runtime.ReadWrite},
+				},
+			})
+		}
+		for i := k + 1; i < mt; i++ {
+			i := i
+			var runS func()
+			if bind {
+				runS = func() { SyrkLD(m.diag[i], m.off[i][k]) }
+			}
+			g.AddTask(runtime.Task{
+				Name:  "syrk",
+				Flops: flopsSYRKComp(m.TileDim(i), rank(i, k)),
+				Run:   runS,
+				Accesses: []runtime.Access{
+					{Handle: oh[i][k], Mode: runtime.Read},
+					{Handle: dh[i], Mode: runtime.ReadWrite},
+				},
+			})
+			for j := k + 1; j < i; j++ {
+				j := j
+				var runG func()
+				if bind {
+					runG = func() {
+						m.off[i][j] = GemmLL(m.off[i][j], m.off[i][k], m.off[j][k], m.Tol)
+					}
+				}
+				g.AddTask(runtime.Task{
+					Name:  "gemm",
+					Flops: flopsGEMMComp(m.TileDim(i), rank(i, k), rank(j, k), rank(i, j)),
+					Run:   runG,
+					Accesses: []runtime.Access{
+						{Handle: oh[i][k], Mode: runtime.Read},
+						{Handle: oh[j][k], Mode: runtime.Read},
+						{Handle: oh[i][j], Mode: runtime.ReadWrite},
+					},
+				})
+			}
+		}
+	}
+	return g
+}
+
+// Cholesky factors m in place: on return the diagonal tiles hold dense
+// Cholesky factors and the off-diagonal tiles the compressed L factors.
+func Cholesky(m *Matrix, workers int) error {
+	g := BuildCholeskyGraph(m, true)
+	return g.Execute(runtime.ExecOptions{Workers: workers})
+}
+
+// LogDet returns log|A| from a TLR-factored matrix.
+func (m *Matrix) LogDet() float64 {
+	var s float64
+	for _, d := range m.diag {
+		s += la.LogDetFromChol(d)
+	}
+	return s
+}
+
+// ForwardSolve solves L·x = b in place against a TLR-factored matrix.
+func (m *Matrix) ForwardSolve(b []float64) {
+	if len(b) != m.N {
+		panic("tlr: ForwardSolve length mismatch")
+	}
+	for i := 0; i < m.MT; i++ {
+		bi := b[i*m.NB : i*m.NB+m.TileDim(i)]
+		for j := 0; j < i; j++ {
+			bj := b[j*m.NB : j*m.NB+m.TileDim(j)]
+			MatVec(m.off[i][j], -1, bj, bi)
+		}
+		la.ForwardSolveVec(m.diag[i], bi)
+	}
+}
+
+// BackwardSolve solves Lᵀ·x = b in place against a TLR-factored matrix.
+func (m *Matrix) BackwardSolve(b []float64) {
+	if len(b) != m.N {
+		panic("tlr: BackwardSolve length mismatch")
+	}
+	for i := m.MT - 1; i >= 0; i-- {
+		bi := b[i*m.NB : i*m.NB+m.TileDim(i)]
+		for j := m.MT - 1; j > i; j-- {
+			bj := b[j*m.NB : j*m.NB+m.TileDim(j)]
+			// b_i -= (L_ji)ᵀ b_j
+			MatVecT(m.off[j][i], -1, bj, bi)
+		}
+		bm := la.NewMatFrom(len(bi), 1, bi)
+		la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.diag[i], bm)
+	}
+}
+
+// Solve computes A⁻¹·b in place given the TLR Cholesky factors.
+func (m *Matrix) Solve(b []float64) {
+	m.ForwardSolve(b)
+	m.BackwardSolve(b)
+}

@@ -1,0 +1,97 @@
+package tlr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+// Property: compressing an exactly rank-k matrix recovers it with rank ≤ k
+// (plus slack for the rank-1 floor) and error at the threshold.
+func TestQuickCompressExactLowRank(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 1)
+		m := 8 + r.Intn(40)
+		n := 8 + r.Intn(40)
+		k := 1 + r.Intn(min(m, n)/2+1)
+		x := la.NewMat(m, k)
+		y := la.NewMat(n, k)
+		for i := range x.Data {
+			x.Data[i] = r.Norm()
+		}
+		for i := range y.Data {
+			y.Data[i] = r.Norm()
+		}
+		a := la.NewMat(m, n)
+		la.Gemm(1, x, la.NoTrans, y, la.Transpose, 0, a)
+		c := SVDCompressor{}.Compress(a, 1e-9)
+		if c.Rank() > k {
+			return false
+		}
+		d := c.Dense()
+		d.Sub(a)
+		return d.FrobNorm() <= 1e-7*a.FrobNorm()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddLowRank is linear — adding then subtracting the same update
+// returns (to within the threshold) the original tile.
+func TestQuickAddLowRankInverts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 2)
+		n := 12 + r.Intn(24)
+		base := la.NewMat(n, n)
+		for i := range base.Data {
+			base.Data[i] = r.Norm()
+		}
+		c0 := SVDCompressor{}.Compress(base, 1e-10)
+		x := la.NewMat(n, 2)
+		y := la.NewMat(n, 2)
+		for i := range x.Data {
+			x.Data[i] = r.Norm()
+		}
+		for i := range y.Data {
+			y.Data[i] = r.Norm()
+		}
+		c1 := AddLowRank(c0, 1, x, y, 1e-10)
+		c2 := AddLowRank(c1, -1, x, y, 1e-10)
+		d := c2.Dense()
+		d.Sub(c0.Dense())
+		return d.FrobNorm() <= 1e-6*(c0.Dense().FrobNorm()+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank never exceeds matrix dimensions and Bytes matches the
+// factor shapes.
+func TestQuickCompTileInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed) + 3)
+		m := 4 + r.Intn(30)
+		n := 4 + r.Intn(30)
+		a := la.NewMat(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		tol := math.Pow(10, -1-float64(r.Intn(9)))
+		c := ACACompressor{}.Compress(a, tol)
+		if c.Rank() < 1 || c.Rank() > min(m, n) {
+			return false
+		}
+		if c.Rows() != m || c.Cols() != n {
+			return false
+		}
+		return c.Bytes() == int64(m+n)*int64(c.Rank())*8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

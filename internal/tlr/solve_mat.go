@@ -1,0 +1,61 @@
+package tlr
+
+import (
+	"repro/internal/la"
+)
+
+// MatMul computes C += alpha·(U·Vᵀ)·B for a compressed tile and a dense
+// block B (cols(tile)×r), the BLAS3 generalization of MatVec.
+func MatMul(a *CompTile, alpha float64, b, c *la.Mat) {
+	k := a.Rank()
+	tmp := la.NewMat(k, b.Cols)
+	la.Gemm(1, a.V, la.Transpose, b, la.NoTrans, 0, tmp)
+	la.Gemm(alpha, a.U, la.NoTrans, tmp, la.NoTrans, 1, c)
+}
+
+// MatMulT computes C += alpha·(U·Vᵀ)ᵀ·B = alpha·V·(Uᵀ·B).
+func MatMulT(a *CompTile, alpha float64, b, c *la.Mat) {
+	k := a.Rank()
+	tmp := la.NewMat(k, b.Cols)
+	la.Gemm(1, a.U, la.Transpose, b, la.NoTrans, 0, tmp)
+	la.Gemm(alpha, a.V, la.NoTrans, tmp, la.NoTrans, 1, c)
+}
+
+func (m *Matrix) rowBlock(b *la.Mat, i int) *la.Mat {
+	return b.View(i*m.NB, 0, m.TileDim(i), b.Cols)
+}
+
+// ForwardSolveMat solves L·X = B in place against a TLR-factored matrix for
+// an n×r right-hand-side block.
+func (m *Matrix) ForwardSolveMat(b *la.Mat) {
+	if b.Rows != m.N {
+		panic("tlr: ForwardSolveMat row mismatch")
+	}
+	for i := 0; i < m.MT; i++ {
+		bi := m.rowBlock(b, i)
+		for j := 0; j < i; j++ {
+			MatMul(m.off[i][j], -1, m.rowBlock(b, j), bi)
+		}
+		la.Trsm(la.Left, la.Lower, la.NoTrans, 1, m.diag[i], bi)
+	}
+}
+
+// BackwardSolveMat solves Lᵀ·X = B in place against a TLR-factored matrix.
+func (m *Matrix) BackwardSolveMat(b *la.Mat) {
+	if b.Rows != m.N {
+		panic("tlr: BackwardSolveMat row mismatch")
+	}
+	for i := m.MT - 1; i >= 0; i-- {
+		bi := m.rowBlock(b, i)
+		for j := m.MT - 1; j > i; j-- {
+			MatMulT(m.off[j][i], -1, m.rowBlock(b, j), bi)
+		}
+		la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.diag[i], bi)
+	}
+}
+
+// SolveMat computes A⁻¹·B in place given the TLR Cholesky factors.
+func (m *Matrix) SolveMat(b *la.Mat) {
+	m.ForwardSolveMat(b)
+	m.BackwardSolveMat(b)
+}
