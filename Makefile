@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test bench verify kernels clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: vet plus the full suite under the race
+# detector (the parallel assembly, scheduler and evaluator paths are the
+# point of the -race run).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# kernels regenerates the compute-layer micro-benchmark snapshot.
+kernels:
+	$(GO) run ./cmd/paperbench -kernels BENCH_kernels.json
+
+clean:
+	$(GO) clean ./...

@@ -308,6 +308,82 @@ func BenchmarkAblationScheduling(b *testing.B) {
 	})
 }
 
+// --- Compute kernels (packed BLAS3, parallel assembly) --------------------
+
+// BenchmarkGemm compares the packed register-tiled GEMM against the retained
+// naive reference (`paperbench -kernels` writes the same comparison as JSON).
+func BenchmarkGemm(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		a, bm, c := la.NewMat(n, n), la.NewMat(n, n), la.NewMat(n, n)
+		r := rng.New(uint64(n))
+		r.NormSlice(a.Data)
+		r.NormSlice(bm.Data)
+		flops := 2 * int64(n) * int64(n) * int64(n)
+		b.Run(benchName("naive/n", n), func(b *testing.B) {
+			b.SetBytes(flops) // flops reported as MB/s ≙ MFLOP/s
+			for i := 0; i < b.N; i++ {
+				la.RefGemm(1, a, la.NoTrans, bm, la.NoTrans, 0, c)
+			}
+		})
+		b.Run(benchName("packed/n", n), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				la.Gemm(1, a, la.NoTrans, bm, la.NoTrans, 0, c)
+			}
+		})
+	}
+}
+
+// BenchmarkCovAssembly times covariance-matrix generation, sequential vs the
+// row-band parallel path.
+func BenchmarkCovAssembly(b *testing.B) {
+	k := cov.NewKernel(benchTheta())
+	const n = 1024
+	pts := geom.GeneratePerturbedGrid(n, rng.New(21))
+	sigma := la.NewMat(len(pts), len(pts))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.Matrix(sigma, pts, geom.Euclidean)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.MatrixParallel(sigma, pts, geom.Euclidean, 4)
+		}
+	})
+}
+
+// BenchmarkCholeskyModes times one generation+factorization per computation
+// mode at a fixed size, including the combined dcmg+POTRF task graph.
+func BenchmarkCholeskyModes(b *testing.B) {
+	k := cov.NewKernel(benchTheta())
+	const n, nb = 1024, 128
+	pts := geom.GeneratePerturbedGrid(n, rng.New(23))
+	b.Run("full-block", func(b *testing.B) {
+		sigma := la.NewMat(len(pts), len(pts))
+		for i := 0; i < b.N; i++ {
+			k.MatrixParallel(sigma, pts, geom.Euclidean, 4)
+			cov.AddNugget(sigma, 1e-9)
+			if err := la.Potrf(sigma); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(benchName("full-tile/workers", w), func(b *testing.B) {
+			m := tile.NewSym(len(pts), nb)
+			spec := &tile.GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9}
+			g, _ := tile.BuildGenCholeskyGraph(m, spec, true)
+			for i := 0; i < b.N; i++ {
+				if err := g.Execute(runtime.ExecOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Harness smoke benchmark ----------------------------------------------
 
 func BenchmarkHarnessFig2(b *testing.B) {

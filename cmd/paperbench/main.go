@@ -28,8 +28,18 @@ func main() {
 		workers = flag.Int("workers", runtime.NumCPU(), "runtime worker count")
 		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		kernels = flag.String("kernels", "", "run the compute-kernel micro-benchmarks, write the JSON report to this path (e.g. BENCH_kernels.json), and exit")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+		if err := exprt.WriteKernelBench(*kernels, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exprt.Experiments {

@@ -127,28 +127,11 @@ type LikResult struct {
 	MeanRank float64
 }
 
-// LogLikelihood evaluates ℓ(θ) for the problem under cfg.
+// LogLikelihood evaluates ℓ(θ) for the problem under cfg. Callers that
+// evaluate many θ on one problem (the optimizers) hold an evaluator instead,
+// which reuses buffers and the task graph across evaluations.
 func LogLikelihood(p *Problem, theta cov.Params, cfg Config) (LikResult, error) {
-	if err := theta.Validate(); err != nil {
-		return LikResult{}, err
-	}
-	cfg = cfg.withDefaults()
-	n := p.N()
-	f, err := Factorize(p, theta, cfg)
-	if err != nil {
-		return LikResult{}, err
-	}
-	var res LikResult
-	res.Bytes = f.Bytes()
-	res.MaxRank, res.MeanRank = f.RankStats()
-	y := append([]float64(nil), p.Z...)
-	f.HalfSolve(y)
-	logDet := f.LogDet()
-	quad := la.Dot(y, y)
-	res.Value = -0.5*float64(n)*math.Log(2*math.Pi) - 0.5*logDet - 0.5*quad
-	res.LogDet = logDet
-	res.QuadForm = quad
-	return res, nil
+	return newEvaluator(p, cfg).logLikelihood(theta)
 }
 
 // FitOptions controls the MLE search.
@@ -246,9 +229,13 @@ func Fit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
 	upper := []float64{math.Log(o.Upper.Variance), math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
 	start := []float64{math.Log(o.Start.Variance), math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
 
+	// One evaluator serves every objective call: the Σ buffer (FullBlock) or
+	// tile descriptors plus the generation+factorization DAG (FullTile) are
+	// built once and re-executed per θ instead of reallocated per iteration.
+	ev := newEvaluator(p, cfg)
 	var lastErr error
 	obj := func(x []float64) float64 {
-		lik, err := LogLikelihood(p, toTheta(x), cfg)
+		lik, err := ev.logLikelihood(toTheta(x))
 		if err != nil {
 			lastErr = err
 			return math.Inf(1)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cov"
+	"repro/internal/la"
+	"repro/internal/runtime"
+	"repro/internal/tile"
+)
+
+// evaluator caches the per-problem state one likelihood evaluation needs so
+// the optimizer's dozens of evaluations inside Fit / ProfiledFit reuse it
+// instead of reallocating per iteration:
+//
+//   - FullBlock: the dense n×n Σ buffer;
+//   - FullTile: the tile descriptors AND the combined dcmg+Cholesky task
+//     graph — the DAG's shape depends only on n and TileSize, which are
+//     fixed per problem, so only the GenSpec's kernel/nugget change between
+//     executions (the graph-reuse contract documented in tile.GenSpec);
+//   - all modes: the right-hand-side scratch vector.
+//
+// TLR is excluded from structural reuse: its tile ranks depend on θ, so the
+// compression and DAG are rebuilt per evaluation as before.
+//
+// An evaluator is NOT safe for concurrent use; the factor returned by one
+// evaluation aliases cached buffers and is invalidated by the next one.
+type evaluator struct {
+	p   *Problem
+	cfg Config
+
+	sigma *la.Mat // FullBlock Σ / L buffer
+
+	m    *tile.SymMatrix // FullTile tiles
+	spec *tile.GenSpec   // mutable kernel/nugget slot read by dcmg tasks
+	g    *runtime.Graph  // combined generation + factorization DAG
+
+	y []float64 // rhs scratch
+}
+
+func newEvaluator(p *Problem, cfg Config) *evaluator {
+	return &evaluator{p: p, cfg: cfg.withDefaults()}
+}
+
+// factorize assembles and factors Σ for the given kernel, reusing cached
+// state where the mode allows it.
+func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
+	n := e.p.N()
+	switch e.cfg.Mode {
+	case FullBlock:
+		if e.sigma == nil {
+			e.sigma = la.NewMat(n, n)
+		}
+		k.MatrixParallel(e.sigma, e.p.Points, e.p.Metric, e.cfg.Workers)
+		cov.AddNugget(e.sigma, nugget)
+		if err := la.Potrf(e.sigma); err != nil {
+			return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
+		}
+		return denseFactor{l: e.sigma}, nil
+	case FullTile:
+		if e.g == nil {
+			e.m = tile.NewSym(n, e.cfg.TileSize)
+			e.spec = &tile.GenSpec{Pts: e.p.Points, Metric: e.p.Metric}
+			e.g, _ = tile.BuildGenCholeskyGraph(e.m, e.spec, true)
+		}
+		e.spec.K = k
+		e.spec.Nugget = nugget
+		if err := e.g.Execute(runtime.ExecOptions{Workers: e.cfg.Workers}); err != nil {
+			return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
+		}
+		return tileFactor{m: e.m, workers: e.cfg.Workers}, nil
+	default:
+		return factorizeKernel(e.p, k, e.cfg, nugget)
+	}
+}
+
+// halfSolved factors Σ and returns the factor plus L⁻¹Z in the cached
+// scratch vector.
+func (e *evaluator) halfSolved(k *cov.Kernel, nugget float64) (Factor, []float64, error) {
+	f, err := e.factorize(k, nugget)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.y == nil {
+		e.y = make([]float64, e.p.N())
+	}
+	copy(e.y, e.p.Z)
+	f.HalfSolve(e.y)
+	return f, e.y, nil
+}
+
+// logLikelihood evaluates ℓ(θ) (paper eq. 1) reusing cached buffers.
+func (e *evaluator) logLikelihood(theta cov.Params) (LikResult, error) {
+	if err := theta.Validate(); err != nil {
+		return LikResult{}, err
+	}
+	f, y, err := e.halfSolved(cov.NewKernel(theta), e.cfg.nugget(theta.Variance))
+	if err != nil {
+		return LikResult{}, err
+	}
+	var res LikResult
+	res.Bytes = f.Bytes()
+	res.MaxRank, res.MeanRank = f.RankStats()
+	res.LogDet = f.LogDet()
+	res.QuadForm = la.Dot(y, y)
+	n := float64(e.p.N())
+	res.Value = -0.5*n*math.Log(2*math.Pi) - 0.5*res.LogDet - 0.5*res.QuadForm
+	return res, nil
+}
+
+// profiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃)
+// (see ProfiledLogLikelihood) reusing cached buffers.
+func (e *evaluator) profiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
+	theta := cov.Params{Variance: 1, Range: rangeP, Smoothness: smoothness}
+	if err := theta.Validate(); err != nil {
+		return 0, 0, err
+	}
+	f, y, err := e.halfSolved(cov.NewKernel(theta), e.cfg.nugget(1))
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(e.p.N())
+	varianceHat = la.Dot(y, y) / n
+	if varianceHat <= 0 {
+		return 0, 0, fmt.Errorf("core: degenerate profiled variance %g", varianceHat)
+	}
+	logL = -0.5*n*(math.Log(2*math.Pi)+1+math.Log(varianceHat)) - 0.5*f.LogDet()
+	return logL, varianceHat, nil
+}

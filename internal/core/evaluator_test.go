@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cov"
+)
+
+// Likelihoods from one reused evaluator must match fresh single-shot
+// evaluations across a sweep of θ — the reused Σ buffer / tile graph may
+// leave no trace of the previous parameters.
+func TestEvaluatorReuseMatchesFresh(t *testing.T) {
+	p := smallProblem(t, 150, 3)
+	thetas := []cov.Params{
+		{Variance: 1, Range: 0.1, Smoothness: 0.5},
+		{Variance: 2.5, Range: 0.05, Smoothness: 1.5},
+		{Variance: 0.7, Range: 0.3, Smoothness: 0.5},
+		{Variance: 1, Range: 0.1, Smoothness: 0.5}, // revisit the first point
+	}
+	for _, cfg := range []Config{
+		{Mode: FullBlock, Workers: 3},
+		{Mode: FullTile, TileSize: 32, Workers: 3},
+	} {
+		ev := newEvaluator(p, cfg)
+		for _, th := range thetas {
+			got, err := ev.logLikelihood(th)
+			if err != nil {
+				t.Fatalf("%v θ=%v: %v", cfg.Mode, th, err)
+			}
+			want, err := LogLikelihood(p, th, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Value-want.Value) > 1e-8*math.Abs(want.Value) {
+				t.Fatalf("%v θ=%v: reused evaluator %.12g vs fresh %.12g", cfg.Mode, th, got.Value, want.Value)
+			}
+			if got.LogDet != want.LogDet || got.QuadForm != want.QuadForm {
+				t.Fatalf("%v θ=%v: diagnostics drift: logdet %g vs %g, quad %g vs %g",
+					cfg.Mode, th, got.LogDet, want.LogDet, got.QuadForm, want.QuadForm)
+			}
+		}
+	}
+}
+
+func TestEvaluatorProfiledReuseMatchesFresh(t *testing.T) {
+	p := smallProblem(t, 120, 4)
+	cfg := Config{Mode: FullTile, TileSize: 32, Workers: 2}
+	ev := newEvaluator(p, cfg)
+	for _, rangeP := range []float64{0.05, 0.2, 0.1} {
+		gotL, gotV, err := ev.profiledLogLikelihood(rangeP, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantL, wantV, err := ProfiledLogLikelihood(p, rangeP, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotL-wantL) > 1e-8*math.Abs(wantL) || math.Abs(gotV-wantV) > 1e-8*wantV {
+			t.Fatalf("range=%g: reused (%g, %g) vs fresh (%g, %g)", rangeP, gotL, gotV, wantL, wantV)
+		}
+	}
+}
+
+// A failed factorization (absurd θ driving Σ numerically non-SPD) must not
+// poison the evaluator for subsequent good evaluations.
+func TestEvaluatorRecoversAfterFactorizationError(t *testing.T) {
+	p := smallProblem(t, 100, 5)
+	for _, cfg := range []Config{
+		{Mode: FullBlock},
+		{Mode: FullTile, TileSize: 32, Workers: 2},
+	} {
+		ev := newEvaluator(p, cfg)
+		good := cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5}
+		before, err := ev.logLikelihood(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Huge range makes all correlations ≈1: numerically singular.
+		if _, err := ev.logLikelihood(cov.Params{Variance: 1, Range: 1e8, Smoothness: 0.5}); err == nil {
+			t.Skipf("%v: near-singular Σ unexpectedly factored; cannot exercise recovery", cfg.Mode)
+		}
+		after, err := ev.logLikelihood(good)
+		if err != nil {
+			t.Fatalf("%v: evaluator broken after failed factorization: %v", cfg.Mode, err)
+		}
+		if math.Abs(after.Value-before.Value) > 1e-8*math.Abs(before.Value) {
+			t.Fatalf("%v: likelihood drifted after failure: %g vs %g", cfg.Mode, after.Value, before.Value)
+		}
+	}
+}

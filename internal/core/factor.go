@@ -44,7 +44,7 @@ func factorizeKernel(p *Problem, k *cov.Kernel, cfg Config, nugget float64) (Fac
 	switch cfg.Mode {
 	case FullBlock:
 		sigma := la.NewMat(n, n)
-		k.Matrix(sigma, p.Points, p.Metric)
+		k.MatrixParallel(sigma, p.Points, p.Metric, cfg.Workers)
 		cov.AddNugget(sigma, nugget)
 		if err := la.Potrf(sigma); err != nil {
 			return nil, fmt.Errorf("core: %s factorization: %w", cfg.Mode, err)
@@ -52,8 +52,8 @@ func factorizeKernel(p *Problem, k *cov.Kernel, cfg Config, nugget float64) (Fac
 		return denseFactor{l: sigma}, nil
 	case FullTile:
 		m := tile.NewSym(n, cfg.TileSize)
-		m.FillKernel(k, p.Points, p.Metric, nugget)
-		if err := tile.Cholesky(m, cfg.Workers); err != nil {
+		spec := &tile.GenSpec{K: k, Pts: p.Points, Metric: p.Metric, Nugget: nugget}
+		if err := tile.GenCholesky(m, spec, cfg.Workers); err != nil {
 			return nil, fmt.Errorf("core: %s factorization: %w", cfg.Mode, err)
 		}
 		return tileFactor{m: m, workers: cfg.Workers}, nil

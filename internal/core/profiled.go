@@ -21,29 +21,7 @@ import (
 // This reduces the optimizer's search from 3 dimensions to 2 — the standard
 // concentrated-likelihood trick ExaGeoStat's drivers also expose.
 func ProfiledLogLikelihood(p *Problem, rangeP, smoothness float64, cfg Config) (logL float64, varianceHat float64, err error) {
-	theta := cov.Params{Variance: 1, Range: rangeP, Smoothness: smoothness}
-	if err := theta.Validate(); err != nil {
-		return 0, 0, err
-	}
-	cfg = cfg.withDefaults()
-	n := p.N()
-	k := cov.NewKernel(theta)
-	f, err := factorizeKernel(p, k, cfg, cfg.nugget(1))
-	if err != nil {
-		return 0, 0, err
-	}
-	y := append([]float64(nil), p.Z...)
-	f.HalfSolve(y)
-	var quad float64
-	for _, v := range y {
-		quad += v * v
-	}
-	varianceHat = quad / float64(n)
-	if varianceHat <= 0 {
-		return 0, 0, fmt.Errorf("core: degenerate profiled variance %g", varianceHat)
-	}
-	logL = -0.5*float64(n)*(math.Log(2*math.Pi)+1+math.Log(varianceHat)) - 0.5*f.LogDet()
-	return logL, varianceHat, nil
+	return newEvaluator(p, cfg).profiledLogLikelihood(rangeP, smoothness)
 }
 
 // ProfiledFit estimates θ̂ by maximizing the profile likelihood over
@@ -68,9 +46,12 @@ func ProfiledFit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
 		}
 		return x[1]
 	}
+	// As in Fit, one evaluator carries the assembly buffers and task graph
+	// through the whole search.
+	ev := newEvaluator(p, cfg)
 	var lastErr error
 	obj := func(x []float64) float64 {
-		ll, _, err := ProfiledLogLikelihood(p, math.Exp(x[0]), smoothOf(x), cfg)
+		ll, _, err := ev.profiledLogLikelihood(math.Exp(x[0]), smoothOf(x))
 		if err != nil {
 			lastErr = err
 			return math.Inf(1)
@@ -90,7 +71,7 @@ func ProfiledFit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
 	}
 	rangeHat := math.Exp(res.X[0])
 	smoothHat := smoothOf(res.X)
-	ll, varHat, err := ProfiledLogLikelihood(p, rangeHat, smoothHat, cfg)
+	ll, varHat, err := ev.profiledLogLikelihood(rangeHat, smoothHat)
 	if err != nil {
 		return FitResult{}, err
 	}

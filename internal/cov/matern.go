@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bessel"
 	"repro/internal/geom"
@@ -116,6 +118,55 @@ func (k *Kernel) Matrix(dst *la.Mat, pts []geom.Point, m geom.Metric) {
 			dst.Set(j, i, v)
 		}
 	}
+}
+
+// MatrixParallel fills dst exactly like Matrix but splits the lower-triangle
+// rows across worker goroutines — the FullBlock analogue of the per-tile
+// dcmg generation tasks (paper's "parallel for" matrix generation). Rows are
+// handed out in small chunks through an atomic cursor so the triangular cost
+// profile (row i costs ~i kernel evaluations) load-balances dynamically.
+// Each element (and its mirror) is written by exactly one goroutine, so the
+// workers never contend. workers < 2 or small n falls back to the
+// sequential path.
+func (k *Kernel) MatrixParallel(dst *la.Mat, pts []geom.Point, m geom.Metric, workers int) {
+	n := len(pts)
+	if dst.Rows != n || dst.Cols != n {
+		panic(fmt.Sprintf("cov: matrix dims %dx%d for %d points", dst.Rows, dst.Cols, n))
+	}
+	const chunk = 16
+	if workers < 2 || n < 4*chunk {
+		k.Matrix(dst, pts, m)
+		return
+	}
+	var (
+		next int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := atomic.AddInt64(&next, 1) - 1
+				lo := int(c) * chunk
+				if lo >= n {
+					return
+				}
+				hi := min(lo+chunk, n)
+				for i := lo; i < hi; i++ {
+					dst.Set(i, i, k.P.Variance)
+					row := dst.Row(i)
+					pi := pts[i]
+					for j := 0; j < i; j++ {
+						v := k.At(geom.Distance(m, pi, pts[j]))
+						row[j] = v
+						dst.Set(j, i, v)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Block fills dst (len(rows)×len(cols)) with the cross-covariance between

@@ -246,3 +246,25 @@ func TestQuickKernelBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMatrixParallelMatchesSequential: the row-band parallel assembly must
+// produce bit-identical matrices for any worker count (each element is
+// computed by exactly one goroutine with the same expression).
+func TestMatrixParallelMatchesSequential(t *testing.T) {
+	r := rng.New(3)
+	const n = 173
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	k := NewKernel(Params{Variance: 1.3, Range: 0.12, Smoothness: 1.5})
+	want := la.NewMat(n, n)
+	k.Matrix(want, pts, geom.Euclidean)
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := la.NewMat(n, n)
+		k.MatrixParallel(got, pts, geom.Euclidean, workers)
+		if !got.Equalish(want, 0) {
+			t.Fatalf("workers=%d: parallel assembly differs", workers)
+		}
+	}
+}

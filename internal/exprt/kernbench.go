@@ -1,0 +1,179 @@
+package exprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/rng"
+	"repro/internal/tile"
+)
+
+// KernelBenchReport is the machine-readable snapshot of the compute-layer
+// micro-benchmarks (`paperbench -kernels`), written as BENCH_kernels.json so
+// perf regressions across commits diff as data rather than log scrapes.
+type KernelBenchReport struct {
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	FMAKernel bool   `json:"fma_kernel"`
+
+	Gemm     []GemmBenchRow     `json:"gemm"`
+	Assembly []AssemblyBenchRow `json:"cov_assembly"`
+	Cholesky []CholBenchRow     `json:"cholesky"`
+}
+
+// GemmBenchRow compares the packed kernel against the retained naive
+// reference at one square size (single-threaded).
+type GemmBenchRow struct {
+	N        int     `json:"n"`
+	NaiveMS  float64 `json:"naive_ms"`
+	PackedMS float64 `json:"packed_ms"`
+	Speedup  float64 `json:"speedup"`
+	GFlops   float64 `json:"packed_gflops"`
+}
+
+// AssemblyBenchRow compares sequential vs parallel covariance assembly.
+type AssemblyBenchRow struct {
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	SeqMS      float64 `json:"sequential_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// CholBenchRow times one Cholesky factorization per mode/worker setting.
+type CholBenchRow struct {
+	Mode    string  `json:"mode"`
+	N       int     `json:"n"`
+	Workers int     `json:"workers"`
+	MS      float64 `json:"ms"`
+}
+
+// benchMinTime is how long each measurement loop runs; the minimum rep is
+// reported to suppress scheduler noise.
+const benchMinTime = 200 * time.Millisecond
+
+func minTimeOf(f func()) float64 {
+	f() // warm-up (pools, page faults)
+	best := -1.0
+	var total time.Duration
+	for reps := 0; total < benchMinTime || reps < 3; reps++ {
+		t0 := time.Now()
+		f()
+		d := time.Since(t0)
+		total += d
+		if s := d.Seconds(); best < 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func ms(s float64) float64 { return s * 1e3 }
+
+// KernelBench runs the compute-layer micro-benchmarks and returns the report.
+func KernelBench(o Options) *KernelBenchReport {
+	o = o.withDefaults()
+	rep := &KernelBenchReport{
+		GOARCH:    goruntime.GOARCH,
+		NumCPU:    goruntime.NumCPU(),
+		FMAKernel: la.FMAKernelEnabled(),
+	}
+	r := rng.New(o.Seed)
+
+	fill := func(m *la.Mat) {
+		for i := range m.Data {
+			m.Data[i] = r.Float64() - 0.5
+		}
+	}
+
+	for _, n := range []int{128, 256, 512} {
+		a, b := la.NewMat(n, n), la.NewMat(n, n)
+		c := la.NewMat(n, n)
+		fill(a)
+		fill(b)
+		naive := minTimeOf(func() { la.RefGemm(1, a, la.NoTrans, b, la.NoTrans, 0, c) })
+		packed := minTimeOf(func() { la.Gemm(1, a, la.NoTrans, b, la.NoTrans, 0, c) })
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		rep.Gemm = append(rep.Gemm, GemmBenchRow{
+			N: n, NaiveMS: ms(naive), PackedMS: ms(packed),
+			Speedup: naive / packed, GFlops: flops / packed / 1e9,
+		})
+	}
+
+	th := maternRef()
+	k := cov.NewKernel(th)
+	for _, n := range []int{1024, 2048} {
+		pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
+		sigma := la.NewMat(len(pts), len(pts))
+		seq := minTimeOf(func() { k.Matrix(sigma, pts, geom.Euclidean) })
+		par := minTimeOf(func() { k.MatrixParallel(sigma, pts, geom.Euclidean, o.Workers) })
+		rep.Assembly = append(rep.Assembly, AssemblyBenchRow{
+			N: len(pts), Workers: o.Workers,
+			SeqMS: ms(seq), ParallelMS: ms(par), Speedup: seq / par,
+		})
+	}
+
+	{
+		const n, nb = 1024, 128
+		pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
+		sigma := la.NewMat(len(pts), len(pts))
+		k.Matrix(sigma, pts, geom.Euclidean)
+		cov.AddNugget(sigma, 1e-9)
+		work := la.NewMat(len(pts), len(pts))
+		dense := minTimeOf(func() {
+			copy(work.Data, sigma.Data)
+			if err := la.Potrf(work); err != nil {
+				panic(err)
+			}
+		})
+		rep.Cholesky = append(rep.Cholesky, CholBenchRow{Mode: "full-block", N: len(pts), Workers: 1, MS: ms(dense)})
+		for _, w := range []int{1, o.Workers} {
+			w := w
+			m := tile.NewSym(len(pts), nb)
+			spec := &tile.GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9}
+			t := minTimeOf(func() {
+				if err := tile.GenCholesky(m, spec, w); err != nil {
+					panic(err)
+				}
+			})
+			rep.Cholesky = append(rep.Cholesky, CholBenchRow{Mode: "full-tile", N: len(pts), Workers: w, MS: ms(t)})
+			if w == o.Workers {
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// WriteKernelBench runs KernelBench and writes the JSON report to path,
+// echoing a short summary to o.Out.
+func WriteKernelBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep := KernelBench(o)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "kernel bench (fma=%v, %d workers) -> %s\n", rep.FMAKernel, o.Workers, path)
+	for _, g := range rep.Gemm {
+		fmt.Fprintf(o.Out, "  gemm n=%-4d naive %8.2fms  packed %8.2fms  %.2fx  %.2f GF/s\n",
+			g.N, g.NaiveMS, g.PackedMS, g.Speedup, g.GFlops)
+	}
+	for _, a := range rep.Assembly {
+		fmt.Fprintf(o.Out, "  dcmg n=%-4d seq %10.2fms  par(%d) %8.2fms  %.2fx\n",
+			a.N, a.SeqMS, a.Workers, a.ParallelMS, a.Speedup)
+	}
+	for _, c := range rep.Cholesky {
+		fmt.Fprintf(o.Out, "  chol %-10s n=%-4d workers=%d  %8.2fms\n", c.Mode, c.N, c.Workers, c.MS)
+	}
+	return nil
+}

@@ -50,13 +50,33 @@ func Axpy(alpha float64, x, y []float64) {
 	}
 }
 
-// Nrm2 returns the Euclidean norm of x.
+// Nrm2 returns the Euclidean norm of x using the LAPACK dnrm2 scaled
+// accumulation, so vectors with entries near math.MaxFloat64 do not overflow
+// the intermediate sum of squares and denormal entries do not underflow it.
 func Nrm2(x []float64) float64 {
-	var sum float64
+	var scale float64
+	ssq := 1.0
 	for _, v := range x {
-		sum += v * v
+		if v != v { // NaN propagates
+			return math.NaN()
+		}
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
 	}
-	return math.Sqrt(sum)
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
 }
 
 // Gemv computes y = alpha*op(A)*x + beta*y.
@@ -102,9 +122,9 @@ func opDims(a *Mat, t Trans) (r, c int) {
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C.
 //
-// The kernel is written as an ikj loop over rows of C with the innermost loop
-// running over contiguous memory in both B and C, which is the standard
-// cache-friendly form for row-major storage.
+// Large products go through the packed, register-tiled micro-kernel in
+// pack.go; small or skinny ones fall back to the naive loops (RefGemm's
+// kernel), where packing overhead would dominate.
 func Gemm(alpha float64, a *Mat, ta Trans, b *Mat, tb Trans, beta float64, c *Mat) {
 	ar, ac := opDims(a, ta)
 	br, bc := opDims(b, tb)
@@ -121,93 +141,97 @@ func Gemm(alpha float64, a *Mat, ta Trans, b *Mat, tb Trans, beta float64, c *Ma
 	if alpha == 0 {
 		return
 	}
-	switch {
-	case ta == NoTrans && tb == NoTrans:
-		for i := 0; i < ar; i++ {
-			ci := c.Row(i)
-			ai := a.Row(i)
-			for k := 0; k < ac; k++ {
-				aik := alpha * ai[k]
-				if aik == 0 {
-					continue
-				}
-				bk := b.Row(k)
-				for j, v := range bk {
-					ci[j] += aik * v
-				}
-			}
-		}
-	case ta == Transpose && tb == NoTrans:
-		for i := 0; i < ar; i++ {
-			ci := c.Row(i)
-			for k := 0; k < ac; k++ {
-				aik := alpha * a.At(k, i)
-				if aik == 0 {
-					continue
-				}
-				bk := b.Row(k)
-				for j, v := range bk {
-					ci[j] += aik * v
-				}
-			}
-		}
-	case ta == NoTrans && tb == Transpose:
-		for i := 0; i < ar; i++ {
-			ci := c.Row(i)
-			ai := a.Row(i)
-			for j := 0; j < bc; j++ {
-				bj := b.Row(j)
-				var s float64
-				for k, v := range ai {
-					s += v * bj[k]
-				}
-				ci[j] += alpha * s
-			}
-		}
-	default: // Transpose, Transpose
-		for i := 0; i < ar; i++ {
-			ci := c.Row(i)
-			for j := 0; j < bc; j++ {
-				var s float64
-				for k := 0; k < ac; k++ {
-					s += a.At(k, i) * b.At(j, k)
-				}
-				ci[j] += alpha * s
-			}
-		}
-	}
+	gemmAcc(alpha, a, ta, b, tb, c)
 }
 
 // Syrk computes the symmetric rank-k update C = alpha*op(A)*op(A)ᵀ + beta*C,
 // referencing and updating only the uplo triangle of C (the other triangle is
 // left untouched). With t == NoTrans the update is A*Aᵀ; with Transpose it is
 // Aᵀ*A.
+//
+// The update is a triangle-restricted GEMM, so it reuses the packed kernel:
+// the triangle is processed in column panels of width syrkBlock whose
+// strictly-off-diagonal part is a plain rectangular gemmAcc and whose
+// diagonal (triangle-crossing) block is computed into pooled scratch and
+// merged element-wise.
 func Syrk(uplo Uplo, alpha float64, a *Mat, t Trans, beta float64, c *Mat) {
 	n, k := opDims(a, t)
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("la: syrk shape mismatch op(A)=%dx%d C=%dx%d", n, k, c.Rows, c.Cols))
 	}
-	for i := 0; i < n; i++ {
-		lo, hi := 0, i+1
-		if uplo == Upper {
-			lo, hi = i, n
-		}
-		ci := c.Row(i)
-		for j := lo; j < hi; j++ {
-			var s float64
-			if t == NoTrans {
-				ai, aj := a.Row(i), a.Row(j)
-				for p, v := range ai {
-					s += v * aj[p]
+	if n < gemmMR || n*n*k < smallGemmFlops {
+		RefSyrk(uplo, alpha, a, t, beta, c)
+		return
+	}
+	// Apply beta to the referenced triangle only.
+	if beta != 1 {
+		for i := 0; i < n; i++ {
+			lo, hi := 0, i+1
+			if uplo == Upper {
+				lo, hi = i, n
+			}
+			ci := c.Row(i)[lo:hi]
+			if beta == 0 {
+				for j := range ci {
+					ci[j] = 0
 				}
 			} else {
-				for p := 0; p < k; p++ {
-					s += a.At(p, i) * a.At(p, j)
+				for j := range ci {
+					ci[j] *= beta
 				}
 			}
-			ci[j] = alpha*s + beta*ci[j]
 		}
 	}
+	if alpha == 0 {
+		return
+	}
+	// opView(r0, w) is the w-row slab op(A)[r0:r0+w, :].
+	opView := func(r0, w int) (*Mat, Trans) {
+		if t == NoTrans {
+			return a.View(r0, 0, w, k), NoTrans
+		}
+		return a.View(0, r0, k, w), Transpose
+	}
+	scratch := syrkScratchPool.Get().(*Mat)
+	defer syrkScratchPool.Put(scratch)
+	for j0 := 0; j0 < n; j0 += syrkBlock {
+		j1 := min(j0+syrkBlock, n)
+		w := j1 - j0
+		aj, taj := opView(j0, w)
+		// Diagonal block: full w×w product into scratch, merge the triangle.
+		s := scratch.View(0, 0, w, w)
+		s.Zero()
+		gemmAcc(alpha, aj, taj, aj, other(taj), s)
+		for i := 0; i < w; i++ {
+			lo, hi := 0, i+1
+			if uplo == Upper {
+				lo, hi = i, w
+			}
+			ci := c.Row(j0 + i)[j0+lo : j0+hi]
+			si := s.Row(i)[lo:hi]
+			for j := range ci {
+				ci[j] += si[j]
+			}
+		}
+		if j1 == n {
+			continue
+		}
+		// Off-diagonal panel below (Lower) or right of (Upper) the block.
+		rest, trest := opView(j1, n-j1)
+		if uplo == Lower {
+			gemmAcc(alpha, rest, trest, aj, other(taj), c.View(j1, j0, n-j1, w))
+		} else {
+			gemmAcc(alpha, aj, taj, rest, other(trest), c.View(j0, j1, w, n-j1))
+		}
+	}
+}
+
+// other flips a transpose flag.
+func other(t Trans) Trans {
+	if t == NoTrans {
+		return Transpose
+	}
+	return NoTrans
 }
 
 // Trsm solves the triangular system in place:
@@ -216,6 +240,11 @@ func Syrk(uplo Uplo, alpha float64, a *Mat, t Trans, beta float64, c *Mat) {
 //	side == Right: X * op(T) = alpha * B
 //
 // T references only its uplo triangle and must be non-singular.
+//
+// The Right-side paths are organized so the innermost loop always walks a
+// contiguous stored row of T (right-looking elimination when op(T)'s column
+// is a stored row, dot-product substitution otherwise) instead of calling a
+// per-element triangle accessor.
 func Trsm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
 	if tri.Rows != tri.Cols {
 		panic("la: trsm with non-square triangular factor")
@@ -262,45 +291,78 @@ func Trsm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
 			}
 		}
 	case Right:
-		// Solve X*op(T) = B row by row: each row x satisfies op(T)ᵀ xᵀ = bᵀ.
-		for r := 0; r < b.Rows; r++ {
-			x := b.Row(r)
-			if lowerEff {
-				// op(T) lower => op(T)ᵀ upper => backward substitution
+		switch {
+		case uplo == Lower && t == NoTrans:
+			// X·L = B: right-looking, descending k. Once x[k] is known,
+			// its contribution x[k]·L[k][0:k] (a stored row) leaves B.
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for k := n - 1; k >= 0; k-- {
+					tk := tri.Row(k)
+					xk := x[k] / tk[k]
+					x[k] = xk
+					if xk != 0 {
+						for j, v := range tk[:k] {
+							x[j] -= xk * v
+						}
+					}
+				}
+			}
+		case uplo == Lower && t == Transpose:
+			// X·Lᵀ = B: x[j] needs Σ_{k<j} x[k]·L[j][k] — a dot with the
+			// stored row L[j][0:j].
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for j := 0; j < n; j++ {
+					tj := tri.Row(j)
+					s := x[j]
+					for k, v := range tj[:j] {
+						s -= x[k] * v
+					}
+					x[j] = s / tj[j]
+				}
+			}
+		case uplo == Upper && t == NoTrans:
+			// X·U = B: right-looking, ascending k, eliminating with the
+			// stored row U[k][k+1:n].
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for k := 0; k < n; k++ {
+					tk := tri.Row(k)
+					xk := x[k] / tk[k]
+					x[k] = xk
+					if xk != 0 {
+						for j := k + 1; j < n; j++ {
+							x[j] -= xk * tk[j]
+						}
+					}
+				}
+			}
+		default: // Upper, Transpose
+			// X·Uᵀ = B: x[j] needs Σ_{k>j} x[k]·U[j][k] — a dot with the
+			// stored row U[j][j+1:n].
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
 				for j := n - 1; j >= 0; j-- {
+					tj := tri.Row(j)
 					s := x[j]
 					for k := j + 1; k < n; k++ {
-						s -= triAt(tri, uplo, t, k, j) * x[k]
+						s -= x[k] * tj[k]
 					}
-					x[j] = s / triAt(tri, uplo, t, j, j)
-				}
-			} else {
-				for j := 0; j < n; j++ {
-					s := x[j]
-					for k := 0; k < j; k++ {
-						s -= triAt(tri, uplo, t, k, j) * x[k]
-					}
-					x[j] = s / triAt(tri, uplo, t, j, j)
+					x[j] = s / tj[j]
 				}
 			}
 		}
 	}
 }
 
-// triAt reads the (i, j) element of op(T) where T is triangular with the
-// given uplo; elements outside the stored triangle read as zero.
-func triAt(tri *Mat, uplo Uplo, t Trans, i, j int) float64 {
-	if t == Transpose {
-		i, j = j, i
-	}
-	if uplo == Lower && j > i || uplo == Upper && j < i {
-		return 0
-	}
-	return tri.At(i, j)
-}
-
 // Trmm computes B = alpha * op(T) * B (side Left) or B = alpha * B * op(T)
 // (side Right) where T is triangular.
+//
+// Like Trsm, the Right-side paths walk contiguous stored rows of T: the
+// transposed orientations are in-place dot products, the non-transposed ones
+// accumulate row contributions of T into a scratch row (reused across rows
+// of B) before copying back.
 func Trmm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
 	if tri.Rows != tri.Cols {
 		panic("la: trmm with non-square triangular factor")
@@ -342,21 +404,70 @@ func Trmm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
 			}
 		}
 	case Right:
-		for r := 0; r < b.Rows; r++ {
-			x := b.Row(r)
-			if lowerEff {
-				for j := 0; j < n; j++ {
-					s := x[j] * triAt(tri, uplo, t, j, j)
-					for k := j + 1; k < n; k++ {
-						s += x[k] * triAt(tri, uplo, t, k, j)
+		switch {
+		case uplo == Lower && t == NoTrans:
+			// y[j] = Σ_{k≥j} x[k]·L[k][j]: accumulate row k of L scaled by
+			// x[k] into scratch.
+			y := make([]float64, n)
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for j := range y {
+					y[j] = 0
+				}
+				for k := 0; k < n; k++ {
+					xk := x[k]
+					if xk == 0 {
+						continue
+					}
+					for j, v := range tri.Row(k)[:k+1] {
+						y[j] += xk * v
+					}
+				}
+				copy(x, y)
+			}
+		case uplo == Lower && t == Transpose:
+			// y[j] = Σ_{k≤j} x[k]·L[j][k]: in-place dot, descending j.
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for j := n - 1; j >= 0; j-- {
+					tj := tri.Row(j)
+					var s float64
+					for k, v := range tj[:j+1] {
+						s += x[k] * v
 					}
 					x[j] = s
 				}
-			} else {
-				for j := n - 1; j >= 0; j-- {
-					s := x[j] * triAt(tri, uplo, t, j, j)
-					for k := 0; k < j; k++ {
-						s += x[k] * triAt(tri, uplo, t, k, j)
+			}
+		case uplo == Upper && t == NoTrans:
+			// y[j] = Σ_{k≤j} x[k]·U[k][j]: accumulate row k of U into
+			// scratch.
+			y := make([]float64, n)
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for j := range y {
+					y[j] = 0
+				}
+				for k := 0; k < n; k++ {
+					xk := x[k]
+					if xk == 0 {
+						continue
+					}
+					tk := tri.Row(k)
+					for j := k; j < n; j++ {
+						y[j] += xk * tk[j]
+					}
+				}
+				copy(x, y)
+			}
+		default: // Upper, Transpose
+			// y[j] = Σ_{k≥j} x[k]·U[j][k]: in-place dot, ascending j.
+			for r := 0; r < b.Rows; r++ {
+				x := b.Row(r)
+				for j := 0; j < n; j++ {
+					tj := tri.Row(j)
+					var s float64
+					for k := j; k < n; k++ {
+						s += x[k] * tj[k]
 					}
 					x[j] = s
 				}

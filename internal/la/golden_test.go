@@ -1,0 +1,257 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Golden cross-checks: the packed/blocked production kernels must agree with
+// the retained naive references across every transpose/side/uplo combination,
+// odd shapes (vectors, prime dims, non-multiples of the register and cache
+// block sizes), and alpha/beta edge cases. randMat lives in mat_test.go.
+
+// randTri returns a well-conditioned n×n matrix whose uplo triangle is used
+// as a triangular factor (diagonally dominant so solves stay stable).
+func randTri(rng *rand.Rand, n int) *Mat {
+	m := randMat(rng, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 4+math.Abs(m.At(i, i)))
+	}
+	return m
+}
+
+func maxRelDiff(got, want *Mat) float64 {
+	var worst float64
+	for i := 0; i < got.Rows; i++ {
+		gr, wr := got.Row(i), want.Row(i)
+		for j := range gr {
+			d := math.Abs(gr[j] - wr[j])
+			scale := math.Max(1, math.Abs(wr[j]))
+			if d/scale > worst {
+				worst = d / scale
+			}
+		}
+	}
+	return worst
+}
+
+var goldenDims = []int{1, 2, 3, 5, 7, 16, 31, 64, 65, 100, 127, 130}
+
+func TestGemmGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{}
+	for _, n := range goldenDims {
+		shapes = append(shapes, [3]int{n, n, n})
+	}
+	// skinny / degenerate shapes: 1×k, k×1, prime rectangles, deep-k
+	shapes = append(shapes,
+		[3]int{1, 64, 64}, [3]int{64, 64, 1}, [3]int{64, 1, 64},
+		[3]int{3, 257, 5}, [3]int{129, 7, 131}, [3]int{37, 300, 4},
+		[3]int{200, 520, 9}, [3]int{5, 1000, 5},
+	)
+	alphaBeta := [][2]float64{{1, 0}, {1, 1}, {-1, 0.5}, {2, -1}, {0, 0.5}, {0.3, 0}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, ta := range []Trans{NoTrans, Transpose} {
+			for _, tb := range []Trans{NoTrans, Transpose} {
+				for _, ab := range alphaBeta {
+					a := randMat(rng, m, k)
+					if ta == Transpose {
+						a = randMat(rng, k, m)
+					}
+					b := randMat(rng, k, n)
+					if tb == Transpose {
+						b = randMat(rng, n, k)
+					}
+					c0 := randMat(rng, m, n)
+					got, want := c0.Clone(), c0.Clone()
+					Gemm(ab[0], a, ta, b, tb, ab[1], got)
+					RefGemm(ab[0], a, ta, b, tb, ab[1], want)
+					if d := maxRelDiff(got, want); d > 1e-12 {
+						t.Fatalf("gemm %dx%dx%d ta=%d tb=%d alpha=%g beta=%g: rel diff %g", m, k, n, ta, tb, ab[0], ab[1], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyrkGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ks := []int{1, 3, 17, 64, 129, 300}
+	alphaBeta := [][2]float64{{1, 0}, {1, 1}, {-1, 1}, {0.5, -2}, {0, 0.7}}
+	for _, n := range goldenDims {
+		for _, k := range ks {
+			for _, tr := range []Trans{NoTrans, Transpose} {
+				for _, uplo := range []Uplo{Lower, Upper} {
+					for _, ab := range alphaBeta {
+						a := randMat(rng, n, k)
+						if tr == Transpose {
+							a = randMat(rng, k, n)
+						}
+						c0 := randMat(rng, n, n)
+						got, want := c0.Clone(), c0.Clone()
+						Syrk(uplo, ab[0], a, tr, ab[1], got)
+						RefSyrk(uplo, ab[0], a, tr, ab[1], want)
+						if d := maxRelDiff(got, want); d > 1e-12 {
+							t.Fatalf("syrk n=%d k=%d t=%d uplo=%d alpha=%g beta=%g: rel diff %g", n, k, tr, uplo, ab[0], ab[1], d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyrkLeavesOtherTriangleUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, uplo := range []Uplo{Lower, Upper} {
+		n := 130
+		a := randMat(rng, n, 40)
+		c := randMat(rng, n, n)
+		before := c.Clone()
+		Syrk(uplo, 1.5, a, NoTrans, 0.25, c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				inTri := j <= i
+				if uplo == Upper {
+					inTri = j >= i
+				}
+				if !inTri && c.At(i, j) != before.At(i, j) {
+					t.Fatalf("uplo=%d: untouched triangle modified at (%d,%d)", uplo, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := []int{1, 2, 5, 16, 31, 64, 65, 127}
+	for _, n := range dims {
+		for _, m := range []int{1, 3, 17, 64} {
+			for _, side := range []Side{Left, Right} {
+				for _, uplo := range []Uplo{Lower, Upper} {
+					for _, tr := range []Trans{NoTrans, Transpose} {
+						for _, alpha := range []float64{1, -0.5} {
+							tri := randTri(rng, n)
+							var b0 *Mat
+							if side == Left {
+								b0 = randMat(rng, n, m)
+							} else {
+								b0 = randMat(rng, m, n)
+							}
+							got, want := b0.Clone(), b0.Clone()
+							Trsm(side, uplo, tr, alpha, tri, got)
+							RefTrsm(side, uplo, tr, alpha, tri, want)
+							if d := maxRelDiff(got, want); d > 1e-10 {
+								t.Fatalf("trsm n=%d m=%d side=%d uplo=%d t=%d alpha=%g: rel diff %g", n, m, side, uplo, tr, alpha, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrmmGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dims := []int{1, 2, 5, 16, 31, 64, 65, 127}
+	for _, n := range dims {
+		for _, m := range []int{1, 3, 17, 64} {
+			for _, side := range []Side{Left, Right} {
+				for _, uplo := range []Uplo{Lower, Upper} {
+					for _, tr := range []Trans{NoTrans, Transpose} {
+						for _, alpha := range []float64{1, 2} {
+							tri := randTri(rng, n)
+							var b0 *Mat
+							if side == Left {
+								b0 = randMat(rng, n, m)
+							} else {
+								b0 = randMat(rng, m, n)
+							}
+							got, want := b0.Clone(), b0.Clone()
+							Trmm(side, uplo, tr, alpha, tri, got)
+							RefTrmm(side, uplo, tr, alpha, tri, want)
+							if d := maxRelDiff(got, want); d > 1e-11 {
+								t.Fatalf("trmm n=%d m=%d side=%d uplo=%d t=%d alpha=%g: rel diff %g", n, m, side, uplo, tr, alpha, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrsmTrmmRoundTrip checks X = Trsm(Trmm(X)) across all orientations,
+// an independent consistency check that does not rely on the references.
+func TestTrsmTrmmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, m := 67, 23
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, tr := range []Trans{NoTrans, Transpose} {
+				tri := randTri(rng, n)
+				var x0 *Mat
+				if side == Left {
+					x0 = randMat(rng, n, m)
+				} else {
+					x0 = randMat(rng, m, n)
+				}
+				x := x0.Clone()
+				Trmm(side, uplo, tr, 1, tri, x)
+				Trsm(side, uplo, tr, 1, tri, x)
+				if d := maxRelDiff(x, x0); d > 1e-10 {
+					t.Fatalf("round trip side=%d uplo=%d t=%d: rel diff %g", side, uplo, tr, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNrm2Scaled(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	cases := []struct {
+		name string
+		x    []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"zeros", []float64{0, 0, 0}, 0},
+		{"plain", []float64{3, 4}, 5},
+		{"huge", []float64{big, big}, big * math.Sqrt2},
+		{"hugeNeg", []float64{-big, big, 0}, big * math.Sqrt2},
+		{"denormal", []float64{5e-324, 0}, 5e-324},
+		{"denormalPair", []float64{3e-310, 4e-310}, 5e-310},
+		{"mixedScale", []float64{1e-300, 1e300}, 1e300},
+		{"inf", []float64{1, math.Inf(1)}, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := Nrm2(c.x)
+		if math.IsInf(c.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: got %g want +Inf", c.name, got)
+			}
+			continue
+		}
+		if c.want == 0 {
+			if got != 0 {
+				t.Errorf("%s: got %g want 0", c.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-c.want)/c.want > 1e-14 {
+			t.Errorf("%s: got %g want %g", c.name, got, c.want)
+		}
+	}
+	if !math.IsNaN(Nrm2([]float64{1, math.NaN(), 2})) {
+		t.Errorf("NaN input must produce NaN")
+	}
+	// naive accumulation of big*sqrt(2) would overflow to +Inf
+	if v := Nrm2([]float64{big, big}); math.IsInf(v, 1) {
+		t.Fatalf("Nrm2 overflowed: %g", v)
+	}
+}

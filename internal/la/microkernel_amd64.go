@@ -1,0 +1,40 @@
+//go:build amd64
+
+package la
+
+// AVX2+FMA micro-kernel wiring for amd64. The kernel itself lives in
+// microkernel_amd64.s; availability is established once at init via CPUID
+// (FMA + AVX2 + OS support for YMM state through XGETBV), so binaries built
+// with the default GOAMD64=v1 still run on older machines through the
+// scalar fallback.
+
+// microKernelFMA computes the packed 4×8 register tile
+// acc = Σ_p a(:,p)·b(p,:) with eight YMM FMA accumulators. kc must be ≥ 1;
+// ap and bp point at panels of kc*gemmMR and kc*gemmNR float64s.
+//
+//go:noescape
+func microKernelFMA(kc int, ap, bp *float64, acc *[gemmMR * gemmNR]float64)
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// useFMAKernel reports whether the AVX2+FMA micro-kernel is safe to call.
+var useFMAKernel = func() bool {
+	_, _, c, _ := cpuidex(1, 0)
+	const fmaBit, osxsaveBit = 1 << 12, 1 << 27
+	if c&fmaBit == 0 || c&osxsaveBit == 0 {
+		return false
+	}
+	// OS must preserve XMM (bit 1) and YMM (bit 2) state across context
+	// switches.
+	lo, _ := xgetbv()
+	if lo&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return b&avx2Bit != 0
+}()

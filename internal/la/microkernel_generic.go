@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package la
+
+// Non-amd64 targets always use the portable scalar micro-kernel.
+const useFMAKernel = false
+
+// microKernelFMA is never called when useFMAKernel is false; this stub
+// satisfies the compiler on targets without the assembly implementation.
+func microKernelFMA(kc int, ap, bp *float64, acc *[gemmMR * gemmNR]float64) {
+	panic("la: FMA micro-kernel unavailable on this architecture")
+}

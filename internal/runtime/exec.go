@@ -43,11 +43,10 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 	}
 
 	var (
-		mu        sync.Mutex
-		cond      = sync.NewCond(&mu)
-		done      int
-		failed    error
-		executing = true
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		done   int
+		failed error
 	)
 
 	runOne := func(t *Task) (err error) {
@@ -70,10 +69,10 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				for ready.Len() == 0 && done < n && failed == nil && executing {
+				for ready.Len() == 0 && done < n && failed == nil {
 					cond.Wait()
 				}
-				if done >= n || failed != nil || !executing {
+				if done >= n || failed != nil {
 					mu.Unlock()
 					return
 				}
@@ -97,16 +96,27 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 					return
 				}
 				done++
+				newlyReady := 0
 				for _, s := range t.successors {
 					indeg[s]--
 					if indeg[s] == 0 {
 						heap.Push(ready, g.tasks[s])
+						newlyReady++
 					}
 				}
 				if done >= n {
 					cond.Broadcast()
 				} else {
-					cond.Signal()
+					// Wake one sleeping worker per newly-ready task. A single
+					// Signal here loses wake-ups when a finished task frees
+					// k > 1 successors: only one worker resumes and the other
+					// k-1 ready tasks sit idle until some later completion
+					// happens to signal again. This worker loops around and
+					// picks up work itself, so signal for the tasks beyond
+					// the one it will take.
+					for i := 1; i < newlyReady; i++ {
+						cond.Signal()
+					}
 				}
 				mu.Unlock()
 			}

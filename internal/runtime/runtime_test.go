@@ -3,6 +3,7 @@ package runtime
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDependencyInferenceRAW(t *testing.T) {
@@ -220,5 +221,68 @@ func TestPriorityOrdersReadyTasks(t *testing.T) {
 	}
 	if order[0] != "high" {
 		t.Fatalf("priority ignored: %v", order)
+	}
+}
+
+// TestExecuteWakesWorkerPerReadyTask regresses the wake-up loss where a
+// finished task freeing k > 1 successors issued a single cond.Signal, leaving
+// k-2 ready tasks idle while workers slept. With the fix, a root fanning out
+// to 4 sleepers on 4 workers must overlap at least 3 of them.
+func TestExecuteWakesWorkerPerReadyTask(t *testing.T) {
+	const fan = 4
+	g := NewGraph()
+	root := g.NewHandle("root", 8, 0)
+	g.AddTask(Task{Name: "root", Run: func() {}, Accesses: []Access{{Handle: root, Mode: Write}}})
+	var active, maxActive int32
+	for i := 0; i < fan; i++ {
+		h := g.NewHandle("leaf", 8, 0)
+		g.AddTask(Task{
+			Name: "leaf",
+			Run: func() {
+				a := atomic.AddInt32(&active, 1)
+				for {
+					m := atomic.LoadInt32(&maxActive)
+					if a <= m || atomic.CompareAndSwapInt32(&maxActive, m, a) {
+						break
+					}
+				}
+				time.Sleep(30 * time.Millisecond)
+				atomic.AddInt32(&active, -1)
+			},
+			Accesses: []Access{
+				{Handle: root, Mode: Read},
+				{Handle: h, Mode: Write},
+			},
+		})
+	}
+	if err := g.Execute(ExecOptions{Workers: fan}); err != nil {
+		t.Fatal(err)
+	}
+	if m := atomic.LoadInt32(&maxActive); m < fan-1 {
+		t.Fatalf("max overlapping leaf tasks = %d, want >= %d (lost wake-ups)", m, fan-1)
+	}
+}
+
+// TestExecuteGraphReusable re-executes one graph several times: the executor
+// must keep its per-run state (indegrees, ready heap) local so higher layers
+// can build the task DAG once and run it every optimizer iteration.
+func TestExecuteGraphReusable(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("x", 8, 0)
+	var runs int64
+	for i := 0; i < 10; i++ {
+		g.AddTask(Task{
+			Name:     "inc",
+			Run:      func() { atomic.AddInt64(&runs, 1) },
+			Accesses: []Access{{Handle: h, Mode: ReadWrite}},
+		})
+	}
+	for rep := 0; rep < 3; rep++ {
+		if err := g.Execute(ExecOptions{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 30 {
+		t.Fatalf("tasks ran %d times, want 30", runs)
 	}
 }

@@ -28,6 +28,13 @@ func FlopsGEMM(m, k, n int) float64 { return 2 * float64(m) * float64(k) * float
 // simulator). Handles are tagged with i*MT+j so owners can be derived.
 func BuildCholeskyGraph(m *SymMatrix, bind bool) (*runtime.Graph, [][]*runtime.Handle) {
 	g := runtime.NewGraph()
+	hs := newTileHandles(g, m)
+	addCholeskyTasks(g, m, hs, bind)
+	return g, hs
+}
+
+// newTileHandles registers one data handle per stored tile.
+func newTileHandles(g *runtime.Graph, m *SymMatrix) [][]*runtime.Handle {
 	hs := make([][]*runtime.Handle, m.MT)
 	for i := 0; i < m.MT; i++ {
 		hs[i] = make([]*runtime.Handle, i+1)
@@ -36,6 +43,13 @@ func BuildCholeskyGraph(m *SymMatrix, bind bool) (*runtime.Graph, [][]*runtime.H
 			hs[i][j] = g.NewHandle(fmt.Sprintf("A[%d,%d]", i, j), bytes, int64(i)*int64(m.MT)+int64(j))
 		}
 	}
+	return hs
+}
+
+// addCholeskyTasks inserts the POTRF/TRSM/SYRK/GEMM task sweep over the
+// given tile handles (shared by BuildCholeskyGraph and the combined
+// generation+factorization graph in gen.go).
+func addCholeskyTasks(g *runtime.Graph, m *SymMatrix, hs [][]*runtime.Handle, bind bool) {
 	mt := m.MT
 	for k := 0; k < mt; k++ {
 		k := k
@@ -114,7 +128,6 @@ func BuildCholeskyGraph(m *SymMatrix, bind bool) (*runtime.Graph, [][]*runtime.H
 			}
 		}
 	}
-	return g, hs
 }
 
 // Cholesky factors m in place (lower tiles hold L on return) using the task

@@ -1,0 +1,97 @@
+package tile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/runtime"
+)
+
+func genPoints(n int) []geom.Point {
+	r := rng.New(7)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+func genKernel() *cov.Kernel {
+	return cov.NewKernel(cov.Params{Variance: 1.2, Range: 0.15, Smoothness: 0.5})
+}
+
+func TestFillKernelParallelMatchesSequential(t *testing.T) {
+	const n, nb = 331, 64 // odd n: ragged trailing tiles
+	pts := genPoints(n)
+	k := genKernel()
+	want := NewSym(n, nb)
+	want.FillKernel(k, pts, geom.Euclidean, 1e-8)
+	for _, workers := range []int{1, 2, 4, 7} {
+		got := NewSym(n, nb)
+		FillKernelParallel(got, k, pts, geom.Euclidean, 1e-8, workers)
+		if !got.ToDense().Equalish(want.ToDense(), 0) {
+			t.Fatalf("workers=%d: parallel fill differs from sequential", workers)
+		}
+	}
+}
+
+func TestGenCholeskyMatchesFillThenFactor(t *testing.T) {
+	const n, nb = 300, 64
+	pts := genPoints(n)
+	k := genKernel()
+	want := NewSym(n, nb)
+	want.FillKernel(k, pts, geom.Euclidean, 1e-8)
+	if err := Cholesky(want, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got := NewSym(n, nb)
+		spec := &GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-8}
+		if err := GenCholesky(got, spec, workers); err != nil {
+			t.Fatal(err)
+		}
+		d := got.ToDense()
+		w := want.ToDense()
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(d.At(i, j)-w.At(i, j)) > 1e-11*math.Max(1, math.Abs(w.At(i, j))) {
+					t.Fatalf("workers=%d: factor mismatch at (%d,%d): %g vs %g", workers, i, j, d.At(i, j), w.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestGenCholeskyGraphReexecutable re-runs one cached graph with an updated
+// kernel between executions — the reuse contract core.Fit depends on.
+func TestGenCholeskyGraphReexecutable(t *testing.T) {
+	const n, nb = 200, 64
+	pts := genPoints(n)
+	m := NewSym(n, nb)
+	spec := &GenSpec{Pts: pts, Metric: geom.Euclidean}
+	g, _ := BuildGenCholeskyGraph(m, spec, true)
+	for _, rangeP := range []float64{0.1, 0.2, 0.05} {
+		spec.K = cov.NewKernel(cov.Params{Variance: 1, Range: rangeP, Smoothness: 0.5})
+		spec.Nugget = 1e-8
+		if err := g.Execute(runtime.ExecOptions{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+		// fresh matrix factored from scratch must agree
+		want := NewSym(n, nb)
+		want.FillKernel(spec.K, pts, geom.Euclidean, 1e-8)
+		if err := Cholesky(want, 1); err != nil {
+			t.Fatal(err)
+		}
+		d, w := m.ToDense(), want.ToDense()
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(d.At(i, j)-w.At(i, j)) > 1e-11*math.Max(1, math.Abs(w.At(i, j))) {
+					t.Fatalf("range=%g: reused-graph factor mismatch at (%d,%d)", rangeP, i, j)
+				}
+			}
+		}
+	}
+}
