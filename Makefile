@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels clean
+.PHONY: build test bench verify kernels tlrbench clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ bench:
 # kernels regenerates the compute-layer micro-benchmark snapshot.
 kernels:
 	$(GO) run ./cmd/paperbench -kernels BENCH_kernels.json
+
+# tlrbench regenerates the parallel TLR pipeline snapshot.
+tlrbench:
+	$(GO) run ./cmd/paperbench -tlr BENCH_tlr.json
 
 clean:
 	$(GO) clean ./...

@@ -249,13 +249,13 @@ func BenchmarkAblationOrdering(b *testing.B) {
 	morton := geom.ApplyPerm(pts, geom.MortonOrder(pts))
 	b.Run("raw", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			m := tlr.FromKernel(k, pts, geom.Euclidean, 512, 64, 1e-7, tlr.SVDCompressor{}, 1e-9)
+			m := tlr.FromKernel(k, pts, geom.Euclidean, 512, 64, 1e-7, tlr.SVDCompressor{}, 1e-9, 1)
 			_, _ = m.RankStats()
 		}
 	})
 	b.Run("morton", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			m := tlr.FromKernel(k, morton, geom.Euclidean, 512, 64, 1e-7, tlr.SVDCompressor{}, 1e-9)
+			m := tlr.FromKernel(k, morton, geom.Euclidean, 512, 64, 1e-7, tlr.SVDCompressor{}, 1e-9, 1)
 			_, _ = m.RankStats()
 		}
 	})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/la"
 	"repro/internal/runtime"
 	"repro/internal/tile"
+	"repro/internal/tlr"
 )
 
 // evaluator caches the per-problem state one likelihood evaluation needs so
@@ -19,10 +20,11 @@ import (
 //     graph — the DAG's shape depends only on n and TileSize, which are
 //     fixed per problem, so only the GenSpec's kernel/nugget change between
 //     executions (the graph-reuse contract documented in tile.GenSpec);
+//   - TLR: the tile shell (diagonal buffers + compressed-tile slots), the
+//     handle layout, the generation scratch pool, and the fused
+//     generate+compress+Cholesky DAG — only ranks and tile contents are
+//     rebuilt per θ (the graph-reuse contract documented in tlr.GenSpec);
 //   - all modes: the right-hand-side scratch vector.
-//
-// TLR is excluded from structural reuse: its tile ranks depend on θ, so the
-// compression and DAG are rebuilt per evaluation as before.
 //
 // An evaluator is NOT safe for concurrent use; the factor returned by one
 // evaluation aliases cached buffers and is invalidated by the next one.
@@ -35,6 +37,10 @@ type evaluator struct {
 	m    *tile.SymMatrix // FullTile tiles
 	spec *tile.GenSpec   // mutable kernel/nugget slot read by dcmg tasks
 	g    *runtime.Graph  // combined generation + factorization DAG
+
+	tm    *tlr.Matrix    // TLR tile shell
+	tspec *tlr.GenSpec   // mutable kernel/nugget slot read by the gen tasks
+	tg    *runtime.Graph // fused generate+compress + factorization DAG
 
 	y []float64 // rhs scratch
 }
@@ -70,6 +76,22 @@ func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
 			return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
 		}
 		return tileFactor{m: e.m, workers: e.cfg.Workers}, nil
+	case TLR:
+		if e.tg == nil {
+			comp, err := tlr.CompressorByName(e.cfg.CompressorName)
+			if err != nil {
+				return nil, err
+			}
+			e.tm = tlr.NewMatrix(n, e.cfg.TileSize, e.cfg.Accuracy)
+			e.tspec = &tlr.GenSpec{Pts: e.p.Points, Metric: e.p.Metric, Comp: comp}
+			e.tg = tlr.BuildGenCholeskyGraph(e.tm, e.tspec, true)
+		}
+		e.tspec.K = k
+		e.tspec.Nugget = nugget
+		if err := e.tg.Execute(runtime.ExecOptions{Workers: e.cfg.Workers}); err != nil {
+			return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
+		}
+		return tlrFactor{m: e.tm}, nil
 	default:
 		return factorizeKernel(e.p, k, e.cfg, nugget)
 	}

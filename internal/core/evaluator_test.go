@@ -62,6 +62,44 @@ func TestEvaluatorProfiledReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// The TLR evaluator reuses the tile shell and fused generate+compress+factor
+// graph across calls; only ranks and contents are rebuilt per θ. Repeated
+// evaluations at one θ must therefore be bitwise-identical, and every reused
+// evaluation must match a fresh single-shot one exactly.
+func TestEvaluatorTLRReuseBitwise(t *testing.T) {
+	p := smallProblem(t, 150, 3)
+	thetas := []cov.Params{
+		{Variance: 1, Range: 0.1, Smoothness: 0.5},
+		{Variance: 2.5, Range: 0.05, Smoothness: 1.5},
+		{Variance: 1, Range: 0.1, Smoothness: 0.5}, // revisit the first point
+	}
+	for _, comp := range []string{"svd", "rsvd"} {
+		cfg := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-8, Workers: 3, CompressorName: comp}
+		ev := newEvaluator(p, cfg)
+		for _, th := range thetas {
+			got, err := ev.logLikelihood(th)
+			if err != nil {
+				t.Fatalf("%s θ=%v: %v", comp, th, err)
+			}
+			again, err := ev.logLikelihood(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value != again.Value || got.LogDet != again.LogDet || got.QuadForm != again.QuadForm {
+				t.Fatalf("%s θ=%v: repeated factorize on the reused graph drifted: %.17g vs %.17g",
+					comp, th, got.Value, again.Value)
+			}
+			want, err := LogLikelihood(p, th, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value != want.Value || got.LogDet != want.LogDet || got.QuadForm != want.QuadForm {
+				t.Fatalf("%s θ=%v: reused evaluator %.17g vs fresh %.17g", comp, th, got.Value, want.Value)
+			}
+		}
+	}
+}
+
 // A failed factorization (absurd θ driving Σ numerically non-SPD) must not
 // poison the evaluator for subsequent good evaluations.
 func TestEvaluatorRecoversAfterFactorizationError(t *testing.T) {
@@ -69,6 +107,7 @@ func TestEvaluatorRecoversAfterFactorizationError(t *testing.T) {
 	for _, cfg := range []Config{
 		{Mode: FullBlock},
 		{Mode: FullTile, TileSize: 32, Workers: 2},
+		{Mode: TLR, TileSize: 32, Accuracy: 1e-10, Workers: 2},
 	} {
 		ev := newEvaluator(p, cfg)
 		good := cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5}

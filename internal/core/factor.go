@@ -62,8 +62,9 @@ func factorizeKernel(p *Problem, k *cov.Kernel, cfg Config, nugget float64) (Fac
 		if err != nil {
 			return nil, err
 		}
-		m := tlr.FromKernel(k, p.Points, p.Metric, n, cfg.TileSize, cfg.Accuracy, comp, nugget)
-		if err := tlr.Cholesky(m, cfg.Workers); err != nil {
+		m := tlr.NewMatrix(n, cfg.TileSize, cfg.Accuracy)
+		spec := &tlr.GenSpec{K: k, Pts: p.Points, Metric: p.Metric, Nugget: nugget, Comp: comp}
+		if err := tlr.GenCholesky(m, spec, cfg.Workers); err != nil {
 			return nil, fmt.Errorf("core: %s factorization: %w", cfg.Mode, err)
 		}
 		return tlrFactor{m: m}, nil

@@ -46,8 +46,9 @@ func SolveRefined(p *Problem, theta cov.Params, cfg Config, b []float64, opts Re
 	if err != nil {
 		return nil, tlr.RefineResult{}, err
 	}
-	pre := tlr.FromKernel(k, p.Points, p.Metric, p.N(), cfg.TileSize, cfg.Accuracy, comp, nug)
-	if err := tlr.Cholesky(pre, cfg.Workers); err != nil {
+	pre := tlr.NewMatrix(p.N(), cfg.TileSize, cfg.Accuracy)
+	spec := &tlr.GenSpec{K: k, Pts: p.Points, Metric: p.Metric, Nugget: nug, Comp: comp}
+	if err := tlr.GenCholesky(pre, spec, cfg.Workers); err != nil {
 		return nil, tlr.RefineResult{}, fmt.Errorf("core: preconditioner factorization: %w", err)
 	}
 

@@ -62,7 +62,7 @@ func ablationOrdering(o Options) error {
 		{"raw grid order", pts},
 		{"morton order", geom.ApplyPerm(pts, geom.MortonOrder(pts))},
 	} {
-		m := tlr.FromKernel(k, c.points, geom.Euclidean, n, nb, 1e-7, tlr.SVDCompressor{}, 1e-9)
+		m := tlr.FromKernel(k, c.points, geom.Euclidean, n, nb, 1e-7, tlr.SVDCompressor{}, 1e-9, o.Workers)
 		maxK, meanK := m.RankStats()
 		t0 := time.Now()
 		if err := tlr.Cholesky(m, o.Workers); err != nil {
@@ -160,7 +160,7 @@ func ablationFormats(o Options) error {
 	fmt.Fprintf(o.Out, "\n[5] compression format: flat TLR vs recursive HODLR (n=%d, §II trade-off)\n", n)
 	tb := stats.NewTable("accuracy", "dense bytes", "tlr bytes", "hodlr bytes", "tlr max rank", "hodlr max rank")
 	for _, acc := range []float64{1e-3, 1e-6, 1e-9} {
-		tl := tlr.FromKernel(k, pts, geom.Euclidean, n, leaf, acc, tlr.SVDCompressor{}, 0)
+		tl := tlr.FromKernel(k, pts, geom.Euclidean, n, leaf, acc, tlr.SVDCompressor{}, 0, o.Workers)
 		hd := hodlr.Build(k, pts, geom.Euclidean, leaf, acc, tlr.SVDCompressor{}, 0)
 		tlMax, _ := tl.RankStats()
 		tb.AddRow(fmt.Sprintf("%.0e", acc),

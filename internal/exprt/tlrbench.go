@@ -1,0 +1,160 @@
+package exprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/runtime"
+	"repro/internal/tlr"
+)
+
+// TLRBenchReport is the machine-readable snapshot of the parallel TLR
+// assemble+compress pipeline (`paperbench -tlr`), written as BENCH_tlr.json.
+// Measured rows give wall-clock on this machine; because CI boxes may expose
+// a single core, the report also includes list-scheduled makespans of the
+// fused generate+compress+factorize DAG, which capture the scaling the paper
+// reports on multi-core hardware.
+type TLRBenchReport struct {
+	N          int     `json:"n"`
+	NB         int     `json:"nb"`
+	Tol        float64 `json:"tol"`
+	Compressor string  `json:"compressor"`
+	NumCPU     int     `json:"num_cpu"`
+
+	Measured  []TLRBenchRow `json:"measured"`
+	Simulated []TLRSimRow   `json:"simulated"`
+}
+
+// TLRBenchRow times assembly (parallel FromKernel) and factorization at one
+// worker count and records whether the factored matrix is bitwise-identical
+// to the workers=1 reference — the determinism contract of the pipeline.
+type TLRBenchRow struct {
+	Workers          int     `json:"workers"`
+	AssembleMS       float64 `json:"assemble_ms"`
+	FactorMS         float64 `json:"factor_ms"`
+	AssembleSpeedup  float64 `json:"assemble_speedup"`
+	FactorSpeedup    float64 `json:"factor_speedup"`
+	BitwiseIdentical bool    `json:"bitwise_identical_to_ref"`
+}
+
+// TLRSimRow is the list-scheduled makespan speedup of the fused
+// generate+compress+factorize DAG over the 1-worker schedule.
+type TLRSimRow struct {
+	Workers         int     `json:"workers"`
+	MakespanSpeedup float64 `json:"fused_dag_makespan_speedup"`
+}
+
+// tlrIdentical reports bitwise equality of two TLR matrices (diagonal tile
+// data and every off-diagonal factor pair).
+func tlrIdentical(a, b *tlr.Matrix) bool {
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < a.MT; i++ {
+		if !eq(a.Diag(i).Data, b.Diag(i).Data) {
+			return false
+		}
+		for j := 0; j < i; j++ {
+			ta, tb := a.Off(i, j), b.Off(i, j)
+			if ta.Rank() != tb.Rank() || !eq(ta.U.Data, tb.U.Data) || !eq(ta.V.Data, tb.V.Data) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TLRBench benchmarks the parallel TLR pipeline at n=2048, nb=128.
+func TLRBench(o Options) *TLRBenchReport {
+	o = o.withDefaults()
+	const (
+		n, nb = 2048, 128
+		tol   = 1e-7
+	)
+	rep := &TLRBenchReport{
+		N: n, NB: nb, Tol: tol,
+		Compressor: "rsvd",
+		NumCPU:     goruntime.NumCPU(),
+	}
+	k := cov.NewKernel(maternRef())
+	pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
+	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	comp := tlr.RSVDCompressor{}
+
+	var ref *tlr.Matrix
+	for _, w := range []int{1, 2, 4, 8} {
+		t0 := time.Now()
+		m := tlr.FromKernel(k, pts, geom.Euclidean, n, nb, tol, comp, 1e-9, w)
+		assemble := time.Since(t0).Seconds()
+		t0 = time.Now()
+		if err := tlr.Cholesky(m, w); err != nil {
+			panic(err)
+		}
+		factor := time.Since(t0).Seconds()
+		if w == 1 {
+			ref = m
+		}
+		row := TLRBenchRow{
+			Workers: w, AssembleMS: ms(assemble), FactorMS: ms(factor),
+			BitwiseIdentical: tlrIdentical(ref, m),
+		}
+		if r0 := rep.Measured; len(r0) > 0 {
+			row.AssembleSpeedup = r0[0].AssembleMS / row.AssembleMS
+			row.FactorSpeedup = r0[0].FactorMS / row.FactorMS
+		} else {
+			row.AssembleSpeedup, row.FactorSpeedup = 1, 1
+		}
+		rep.Measured = append(rep.Measured, row)
+	}
+
+	// List-scheduled makespans of the fused DAG under the nominal-rank cost
+	// model: the scaling the task flow admits independent of this machine's
+	// core count.
+	shell := tlr.NewMatrix(n, nb, tol)
+	spec := &tlr.GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: comp}
+	g := tlr.BuildGenCholeskyGraph(shell, spec, false)
+	base := g.Simulate(runtime.SimOptions{Workers: 1})
+	for _, w := range []int{1, 2, 4, 8} {
+		mk := g.Simulate(runtime.SimOptions{Workers: w})
+		rep.Simulated = append(rep.Simulated, TLRSimRow{Workers: w, MakespanSpeedup: base / mk})
+	}
+	return rep
+}
+
+// WriteTLRBench runs TLRBench and writes the JSON report to path, echoing a
+// short summary to o.Out.
+func WriteTLRBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep := TLRBench(o)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "tlr bench n=%d nb=%d %s tol=%g (%d cpus) -> %s\n",
+		rep.N, rep.NB, rep.Compressor, rep.Tol, rep.NumCPU, path)
+	for _, r := range rep.Measured {
+		fmt.Fprintf(o.Out, "  workers=%d  assemble %8.1fms (%.2fx)  factor %8.1fms (%.2fx)  bitwise=%v\n",
+			r.Workers, r.AssembleMS, r.AssembleSpeedup, r.FactorMS, r.FactorSpeedup, r.BitwiseIdentical)
+	}
+	for _, s := range rep.Simulated {
+		fmt.Fprintf(o.Out, "  fused DAG makespan workers=%d  %.2fx\n", s.Workers, s.MakespanSpeedup)
+	}
+	return nil
+}

@@ -119,7 +119,7 @@ func TestMatVecDimsPanic(t *testing.T) {
 func TestHODLRvsTLRStorage(t *testing.T) {
 	k, pts, _ := testSetup(t, 512)
 	h := Build(k, pts, geom.Euclidean, 64, 1e-6, tlr.SVDCompressor{}, 0)
-	tl := tlr.FromKernel(k, pts, geom.Euclidean, 512, 64, 1e-6, tlr.SVDCompressor{}, 0)
+	tl := tlr.FromKernel(k, pts, geom.Euclidean, 512, 64, 1e-6, tlr.SVDCompressor{}, 0, 1)
 	denseBytes := int64(512 * 512 * 8)
 	if h.Bytes() >= denseBytes || tl.Bytes() >= denseBytes {
 		t.Fatalf("formats failed to compress: hodlr %d tlr %d dense %d", h.Bytes(), tl.Bytes(), denseBytes)

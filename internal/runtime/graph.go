@@ -40,6 +40,13 @@ type Handle struct {
 	Tag   int64
 }
 
+// SetBytes updates the payload size of a variable-size handle (a compressed
+// tile whose rank changes between graph executions). Only the task that owns
+// the handle's write access may call it during execution: the runtime
+// serializes that task against every other access of the handle, so the
+// update is race-free by the same argument as the payload write itself.
+func (h *Handle) SetBytes(b int64) { h.Bytes = b }
+
 // Access pairs a handle with the mode a task uses it in.
 type Access struct {
 	Handle *Handle

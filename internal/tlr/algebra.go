@@ -17,6 +17,9 @@ func AddLowRank(c *CompTile, alpha float64, x, y *la.Mat, tol float64) *CompTile
 	if x.Rows != m || y.Rows != n {
 		panic("tlr: AddLowRank dimension mismatch")
 	}
+	if kx == 0 {
+		return c // rank-0 update: C is unchanged
+	}
 	u := la.NewMat(m, kc+kx)
 	v := la.NewMat(n, kc+kx)
 	for i := 0; i < m; i++ {
@@ -45,6 +48,9 @@ func GemmLL(c, a, b *CompTile, tol float64) *CompTile {
 	if a.V.Rows != b.V.Rows {
 		panic("tlr: GemmLL contraction dimension mismatch")
 	}
+	if ka == 0 || kb == 0 {
+		return c // a zero operand contributes nothing
+	}
 	w := la.NewMat(ka, kb)
 	la.Gemm(1, a.V, la.Transpose, b.V, la.NoTrans, 0, w)
 	var x, y *la.Mat
@@ -67,6 +73,9 @@ func GemmLL(c, a, b *CompTile, tol float64) *CompTile {
 // meaningful afterwards (matching la.Syrk semantics the dense path uses).
 func SyrkLD(c *la.Mat, a *CompTile) {
 	k := a.Rank()
+	if k == 0 {
+		return
+	}
 	w := la.NewMat(k, k)
 	la.Gemm(1, a.V, la.Transpose, a.V, la.NoTrans, 0, w)
 	t := la.NewMat(a.U.Rows, k)
@@ -79,12 +88,18 @@ func SyrkLD(c *la.Mat, a *CompTile) {
 // A_ik ← A_ik · L_kk^{-T}. Since A = U·Vᵀ, only V changes:
 // U·Vᵀ·L^{-T} = U·(L^{-1}·V)ᵀ, i.e. V ← L^{-1}·V.
 func TrsmLD(l *la.Mat, a *CompTile) {
+	if a.Rank() == 0 {
+		return
+	}
 	la.Trsm(la.Left, la.Lower, la.NoTrans, 1, l, a.V)
 }
 
 // MatVec computes y += alpha · (U·Vᵀ) · x for a compressed tile.
 func MatVec(a *CompTile, alpha float64, x, y []float64) {
 	k := a.Rank()
+	if k == 0 {
+		return
+	}
 	tmp := make([]float64, k)
 	la.Gemv(1, a.V, la.Transpose, x, 0, tmp)
 	la.Gemv(alpha, a.U, la.NoTrans, tmp, 1, y)
@@ -93,6 +108,9 @@ func MatVec(a *CompTile, alpha float64, x, y []float64) {
 // MatVecT computes y += alpha · (U·Vᵀ)ᵀ · x = alpha · V·(Uᵀx).
 func MatVecT(a *CompTile, alpha float64, x, y []float64) {
 	k := a.Rank()
+	if k == 0 {
+		return
+	}
 	tmp := make([]float64, k)
 	la.Gemv(1, a.U, la.Transpose, x, 0, tmp)
 	la.Gemv(alpha, a.V, la.NoTrans, tmp, 1, y)

@@ -39,6 +39,9 @@ func (c *CompTile) Bytes() int64 {
 // Dense reconstructs the tile as a dense matrix.
 func (c *CompTile) Dense() *la.Mat {
 	out := la.NewMat(c.Rows(), c.Cols())
+	if c.Rank() == 0 {
+		return out // exact zero tile
+	}
 	la.Gemm(1, c.U, la.NoTrans, c.V, la.Transpose, 0, out)
 	return out
 }
@@ -54,6 +57,25 @@ type Compressor interface {
 	// error ≈ tol: ‖A − UVᵀ‖_F ≤ tol·‖A‖_F.
 	Compress(a *la.Mat, tol float64) *CompTile
 	Name() string
+}
+
+// TileCompressor is implemented by stochastic backends that must be
+// deterministic under concurrent per-tile compression: ForTile returns an
+// instance whose random stream depends only on the tile coordinates (and the
+// backend's seed), never on execution order. Deterministic backends simply
+// don't implement it.
+type TileCompressor interface {
+	Compressor
+	ForTile(i, j int) Compressor
+}
+
+// forTile resolves the compressor instance for tile (i, j): per-tile seeded
+// for stochastic backends, comp itself otherwise.
+func forTile(comp Compressor, i, j int) Compressor {
+	if tc, ok := comp.(TileCompressor); ok {
+		return tc.ForTile(i, j)
+	}
+	return comp
 }
 
 // frobRank returns the smallest k whose Frobenius tail is below tol·‖A‖_F,
@@ -118,15 +140,38 @@ type RSVDCompressor struct {
 	// Oversample extends the sketch width beyond the rank guess (default 10).
 	Oversample int
 	// PowerIters stabilizes the range estimate for slowly decaying spectra
-	// (default 1).
+	// (default 1); set negative to disable power iterations entirely.
 	PowerIters int
+	// Seed parameterizes the deterministic per-tile generators handed out by
+	// ForTile and the default generator used when Rng is nil (default
+	// 0x5eed).
+	Seed uint64
 	// Rng provides the Gaussian sketch; a fixed default seed keeps runs
-	// deterministic when nil.
+	// deterministic when nil. A non-nil Rng is mutated by Compress, so it
+	// must not be shared across concurrent compressions — parallel callers
+	// go through ForTile, which derives an independent per-tile stream
+	// instead of touching this field.
 	Rng *rng.Rand
 }
 
 // Name implements Compressor.
 func (RSVDCompressor) Name() string { return "rsvd" }
+
+// ForTile implements TileCompressor: the returned instance draws its sketch
+// from a stream seeded by (Seed, i, j) only, so compressing tile (i, j) is
+// bitwise-reproducible at any worker count and in any execution order.
+func (r RSVDCompressor) ForTile(i, j int) Compressor {
+	seed := r.Seed
+	if seed == 0 {
+		seed = 0x5eed
+	}
+	// SplitMix64-style mixing of the tile coordinates into the seed; rng.New
+	// runs the result through SplitMix64 again, so nearby tiles land on
+	// well-separated states.
+	s := seed ^ (uint64(i)*0x9e3779b97f4a7c15 + uint64(j)*0xbf58476d1ce4e5b9 + 0x2545f4914f6cdd1d)
+	r.Rng = rng.New(s)
+	return r
+}
 
 // Compress implements Compressor.
 func (r RSVDCompressor) Compress(a *la.Mat, tol float64) *CompTile {
@@ -138,11 +183,15 @@ func (r RSVDCompressor) Compress(a *la.Mat, tol float64) *CompTile {
 	if iters < 0 {
 		iters = 0
 	} else if r.PowerIters == 0 {
-		iters = 2
+		iters = 1
 	}
 	gen := r.Rng
 	if gen == nil {
-		gen = rng.New(0x5eed)
+		seed := r.Seed
+		if seed == 0 {
+			seed = 0x5eed
+		}
+		gen = rng.New(seed)
 	}
 	m, n := a.Rows, a.Cols
 	maxK := min(m, n)
@@ -225,20 +274,33 @@ func (r RSVDCompressor) Compress(a *la.Mat, tol float64) *CompTile {
 
 // frobRankAbsolute picks the truncation rank measuring the tail against the
 // full Frobenius mass aF2 of the original matrix (the sketch may not carry
-// all of it).
+// all of it). The tail is accumulated from the smallest singular values
+// upward — computing it as aF2 minus a prefix would drown tails near
+// ε·aF2 in the rounding noise of the two large sums and truncate on noise.
 func frobRankAbsolute(s []float64, tol, aF2 float64) int {
 	if aF2 == 0 {
 		return 1
 	}
 	budget := tol * tol * aF2
-	var prefix float64
-	for k := 1; k <= len(s); k++ {
-		prefix += s[k-1] * s[k-1]
-		if aF2-prefix <= budget {
-			return k
-		}
+	var total float64
+	for _, v := range s {
+		total += v * v
 	}
-	return len(s)
+	// mass the sketch did not capture; clamp the rounding-negative case
+	tail := aF2 - total
+	if tail < 0 {
+		tail = 0
+	}
+	k := len(s)
+	for k > 1 {
+		sv := s[k-1]
+		if tail+sv*sv > budget {
+			break
+		}
+		tail += sv * sv
+		k--
+	}
+	return k
 }
 
 // ACACompressor implements Adaptive Cross Approximation with partial
@@ -264,9 +326,10 @@ func (ACACompressor) Compress(a *la.Mat, tol float64) *CompTile {
 	}
 	aF = math.Sqrt(aF)
 	if aF == 0 {
-		u := la.NewMat(m, 1)
-		v := la.NewMat(n, 1)
-		return &CompTile{U: u, V: v}
+		// Exact zero tile: rank 0, zero storage. Rank-1 zero factors would
+		// inflate Bytes()/RankStats(); all TLR arithmetic and Recompress
+		// treat rank 0 as a structural no-op.
+		return &CompTile{U: la.NewMat(m, 0), V: la.NewMat(n, 0)}
 	}
 	var approxF2 float64
 	for k := 0; k < maxK; k++ {

@@ -1,0 +1,146 @@
+// Covariance generation + compression as runtime tasks: the HiCMA analogue
+// of the ExaGeoStat "dcmg" codelets. Each diagonal tile gets one generation
+// task and each off-diagonal tile one fused generate+compress task, all
+// writing the tile's data handle. Inserted ahead of the POTRF/TRSM/SYRK/GEMM
+// sweep they form one DAG, so compression of tile (i, j) overlaps
+// factorization of earlier panels exactly as HiCMA's StarPU tasks do.
+package tlr
+
+import (
+	"sync"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/runtime"
+	"repro/internal/tile"
+)
+
+// GenSpec carries the inputs of TLR covariance generation. The task closures
+// read the fields when they RUN, not when the graph is built: callers that
+// cache the fused task graph across optimizer iterations (core's evaluator)
+// swap in a new Kernel and Nugget between executions and re-run the same
+// graph — only ranks and tile contents are rebuilt per θ. Pts, Metric and
+// Comp must stay fixed for the graph's lifetime.
+type GenSpec struct {
+	K      *cov.Kernel
+	Pts    []geom.Point
+	Metric geom.Metric
+	Nugget float64
+	// Comp compresses the off-diagonal tiles. Stochastic backends
+	// implementing TileCompressor are re-seeded per tile, making the result
+	// bitwise-identical at any worker count.
+	Comp Compressor
+
+	// scratch pools the NB×NB dense buffers the generate+compress tasks
+	// materialize tiles into before compression, so repeated graph
+	// executions allocate no per-tile scratch.
+	scratch sync.Pool
+}
+
+// getScratch returns a pooled nb×nb dense buffer.
+func (s *GenSpec) getScratch(nb int) *la.Mat {
+	if v := s.scratch.Get(); v != nil {
+		return v.(*la.Mat)
+	}
+	return la.NewMat(nb, nb)
+}
+
+// flopsCompress estimates the cost of compressing a di×dj tile — the
+// dominant O(di·dj·min) orthogonalization shared by every backend — for task
+// priorities and the simulated executors.
+func flopsCompress(di, dj int) float64 {
+	mn := di
+	if dj < mn {
+		mn = dj
+	}
+	return 2 * float64(di) * float64(dj) * float64(mn)
+}
+
+// AddGenTasks inserts the per-tile generation tasks of m, each writing its
+// tile handle: plain dense generation for diagonal tiles, fused
+// generate+compress for off-diagonal tiles. Tiles in low column blocks get
+// higher priority (the factorization consumes left panels first). Tasks
+// allocate diagonal tiles lazily and replace compressed tiles wholesale, so
+// re-executing the graph on a reused shell rebuilds contents and ranks while
+// keeping the shell and handle layout; each off-diagonal task refreshes its
+// handle's byte count with the new rank's footprint.
+func AddGenTasks(g *runtime.Graph, m *Matrix, spec *GenSpec, dh []*runtime.Handle, oh [][]*runtime.Handle, bind bool) {
+	mt := m.MT
+	for i := 0; i < mt; i++ {
+		i := i
+		var runD func()
+		if bind {
+			runD = func() {
+				di := m.TileDim(i)
+				d := m.diag[i]
+				if d == nil {
+					d = la.NewMat(di, di)
+					m.diag[i] = d
+				}
+				ri := spec.Pts[i*m.NB : i*m.NB+di]
+				spec.K.Block(d, ri, ri, spec.Metric)
+				if spec.Nugget != 0 {
+					for a := 0; a < di; a++ {
+						d.Set(a, a, d.At(a, a)+spec.Nugget)
+					}
+				}
+			}
+		}
+		g.AddTask(runtime.Task{
+			Name:     "dcmg",
+			Flops:    tile.FlopsDCMG(m.TileDim(i), m.TileDim(i)),
+			Priority: 4 * (mt - i),
+			Run:      runD,
+			Accesses: []runtime.Access{{Handle: dh[i], Mode: runtime.Write}},
+		})
+		for j := 0; j < i; j++ {
+			j := j
+			var run func()
+			if bind {
+				run = func() {
+					di, dj := m.TileDim(i), m.TileDim(j)
+					buf := spec.getScratch(m.NB)
+					dense := buf.View(0, 0, di, dj)
+					ri := spec.Pts[i*m.NB : i*m.NB+di]
+					rj := spec.Pts[j*m.NB : j*m.NB+dj]
+					spec.K.Block(dense, ri, rj, spec.Metric)
+					t := forTile(spec.Comp, i, j).Compress(dense, m.Tol)
+					spec.scratch.Put(buf)
+					m.off[i][j] = t
+					oh[i][j].SetBytes(t.Bytes())
+				}
+			}
+			g.AddTask(runtime.Task{
+				Name:     "dcmg+comp",
+				Flops:    tile.FlopsDCMG(m.TileDim(i), m.TileDim(j)) + flopsCompress(m.TileDim(i), m.TileDim(j)),
+				Priority: 4 * (mt - j),
+				Run:      run,
+				Accesses: []runtime.Access{{Handle: oh[i][j], Mode: runtime.Write}},
+			})
+		}
+	}
+}
+
+// BuildGenCholeskyGraph builds the combined generate+compress +
+// factorization DAG: generation tasks write every tile, POTRF/TRSM/SYRK/GEMM
+// tasks consume them. The graph is re-executable: running it again
+// regenerates and recompresses the matrix from the (possibly updated) spec
+// and refactors it, which is what core's likelihood evaluator does once per
+// optimizer iteration.
+func BuildGenCholeskyGraph(m *Matrix, spec *GenSpec, bind bool) *runtime.Graph {
+	g := runtime.NewGraph()
+	dh, oh := newTileHandles(g, m)
+	AddGenTasks(g, m, spec, dh, oh, bind)
+	addCholeskyTasks(g, m, dh, oh, bind)
+	return g
+}
+
+// GenCholesky generates and compresses Σ(θ) into m and factors it in place
+// in a single task-graph execution, overlapping compression with
+// factorization. It returns la.ErrNotPositiveDefinite (wrapped) if a pivot
+// fails.
+func GenCholesky(m *Matrix, spec *GenSpec, workers int) error {
+	g := BuildGenCholeskyGraph(m, spec, true)
+	return g.Execute(runtime.ExecOptions{Workers: workers})
+}

@@ -1,0 +1,221 @@
+package tlr
+
+import (
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/rng"
+	"repro/internal/runtime"
+)
+
+// exactEqual reports bitwise equality of two dense matrices.
+func exactEqual(a, b *la.Mat) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		for j := range ar {
+			if ar[j] != br[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func genTestSetup(t *testing.T, n int) (*cov.Kernel, []geom.Point) {
+	t.Helper()
+	r := rng.New(7)
+	pts := geom.GeneratePerturbedGrid(n, r)
+	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	k := cov.NewKernel(cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5})
+	return k, pts
+}
+
+// The determinism contract of the parallel assemble+compress pipeline: the
+// assembled TLR matrix is bitwise-identical at any worker count, for every
+// compression backend (stochastic ones re-seed per tile via TileCompressor).
+func TestFromKernelWorkerInvariance(t *testing.T) {
+	const n, nb = 240, 32
+	k, pts := genTestSetup(t, n)
+	for _, name := range []string{"svd", "rsvd", "aca"} {
+		comp, err := CompressorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := FromKernel(k, pts, geom.Euclidean, n, nb, 1e-7, comp, 1e-9, 1)
+		m4 := FromKernel(k, pts, geom.Euclidean, n, nb, 1e-7, comp, 1e-9, 4)
+		for i := 0; i < m1.MT; i++ {
+			if !exactEqual(m1.Diag(i), m4.Diag(i)) {
+				t.Fatalf("%s: diagonal tile %d differs across worker counts", name, i)
+			}
+			for j := 0; j < i; j++ {
+				a, b := m1.Off(i, j), m4.Off(i, j)
+				if a.Rank() != b.Rank() {
+					t.Fatalf("%s: tile (%d,%d) rank %d vs %d across worker counts", name, i, j, a.Rank(), b.Rank())
+				}
+				if !exactEqual(a.U, b.U) || !exactEqual(a.V, b.V) {
+					t.Fatalf("%s: tile (%d,%d) factors differ across worker counts", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// The fused generate+compress+factorize DAG must reproduce the separate
+// assemble-then-factor pipeline bitwise: per tile, both execute the same
+// kernel sequence in the same dependency order.
+func TestGenCholeskyMatchesSeparatePipeline(t *testing.T) {
+	const n, nb = 160, 32
+	k, pts := genTestSetup(t, n)
+	sep := FromKernel(k, pts, geom.Euclidean, n, nb, 1e-8, SVDCompressor{}, 1e-9, 4)
+	if err := Cholesky(sep, 4); err != nil {
+		t.Fatal(err)
+	}
+	fused := NewMatrix(n, nb, 1e-8)
+	spec := &GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: SVDCompressor{}}
+	if err := GenCholesky(fused, spec, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !exactEqual(sep.ToDense(), fused.ToDense()) {
+		t.Fatal("fused generate+compress+factorize differs from separate pipeline")
+	}
+	if sep.LogDet() != fused.LogDet() {
+		t.Fatalf("logdet differs: %g vs %g", sep.LogDet(), fused.LogDet())
+	}
+}
+
+// The fused graph is re-executable on a reused shell: swapping the kernel in
+// the spec and re-running regenerates ranks/contents and refactors, matching
+// a fresh factorization bitwise — including returning to a θ seen before.
+func TestGenCholeskyGraphReuseAcrossKernels(t *testing.T) {
+	const n, nb = 160, 32
+	_, pts := genTestSetup(t, n)
+	thetas := []cov.Params{
+		{Variance: 1, Range: 0.1, Smoothness: 0.5},
+		{Variance: 2, Range: 0.05, Smoothness: 1.5},
+		{Variance: 1, Range: 0.1, Smoothness: 0.5}, // revisit the first θ
+	}
+	shell := NewMatrix(n, nb, 1e-8)
+	spec := &GenSpec{Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: SVDCompressor{}}
+	g := BuildGenCholeskyGraph(shell, spec, true)
+	for _, th := range thetas {
+		spec.K = cov.NewKernel(th)
+		if err := g.Execute(runtime.ExecOptions{Workers: 3}); err != nil {
+			t.Fatalf("θ=%v: %v", th, err)
+		}
+		fresh := NewMatrix(n, nb, 1e-8)
+		fspec := &GenSpec{K: spec.K, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: SVDCompressor{}}
+		if err := GenCholesky(fresh, fspec, 3); err != nil {
+			t.Fatal(err)
+		}
+		if !exactEqual(shell.ToDense(), fresh.ToDense()) {
+			t.Fatalf("θ=%v: reused graph result differs from fresh factorization", th)
+		}
+	}
+}
+
+// RSVD per-tile generators depend only on (Seed, i, j): compressing the same
+// tile twice — or after compressing other tiles — is bitwise-reproducible.
+func TestRSVDForTileDeterminism(t *testing.T) {
+	a := covTile(t, 40, 36, 0.8)
+	other := covTile(t, 40, 36, 1.4)
+	r := RSVDCompressor{}
+	c1 := forTile(r, 3, 1).Compress(a, 1e-7)
+	forTile(r, 5, 2).Compress(other, 1e-7) // unrelated tile in between
+	c2 := forTile(r, 3, 1).Compress(a, 1e-7)
+	if c1.Rank() != c2.Rank() || !exactEqual(c1.U, c2.U) || !exactEqual(c1.V, c2.V) {
+		t.Fatal("per-tile RSVD stream is not deterministic")
+	}
+	d := forTile(r, 1, 3).Compress(a, 1e-7)
+	if exactEqual(c1.U, d.U) {
+		t.Fatal("distinct tiles unexpectedly share a random stream")
+	}
+}
+
+// The documented PowerIters default is 1; zero must not silently mean 2.
+func TestRSVDPowerItersDefault(t *testing.T) {
+	a := covTile(t, 40, 36, 0.8)
+	def := RSVDCompressor{}.Compress(a, 1e-6)
+	one := RSVDCompressor{PowerIters: 1}.Compress(a, 1e-6)
+	if def.Rank() != one.Rank() || !exactEqual(def.U, one.U) || !exactEqual(def.V, one.V) {
+		t.Fatal("PowerIters zero value does not behave as the documented default of 1")
+	}
+}
+
+// A zero tile compresses to rank 0 with zero storage, and every TLR kernel
+// treats the rank-0 tile as a structural no-op.
+func TestACAZeroTileRankZero(t *testing.T) {
+	z := la.NewMat(16, 12)
+	c := ACACompressor{}.Compress(z, 1e-8)
+	if c.Rank() != 0 {
+		t.Fatalf("zero tile rank %d, want 0", c.Rank())
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("zero tile claims %d bytes", c.Bytes())
+	}
+	if c.Dense().FrobNorm() != 0 {
+		t.Fatal("rank-0 tile does not reconstruct to zero")
+	}
+	if rc := Recompress(c, 1e-8); rc.Rank() != 0 {
+		t.Fatal("Recompress inflated a rank-0 tile")
+	}
+
+	// square rank-0 tile for the factorization kernels
+	sq := ACACompressor{}.Compress(la.NewMat(12, 12), 1e-8)
+	diag := covTile(t, 12, 12, 0.1)
+	want := diag.Clone()
+	SyrkLD(diag, sq) // C -= 0·0ᵀ
+	if !exactEqual(diag, want) {
+		t.Fatal("SyrkLD with rank-0 tile modified C")
+	}
+	l := la.Eye(12)
+	TrsmLD(l, sq)
+	if sq.Rank() != 0 {
+		t.Fatal("TrsmLD changed a rank-0 tile")
+	}
+	full := SVDCompressor{}.Compress(covTile(t, 12, 12, 0.6), 1e-8)
+	if got := GemmLL(full, sq, full, 1e-8); got != full {
+		t.Fatal("GemmLL with a rank-0 operand must return C unchanged")
+	}
+	if got := GemmLL(sq, full, full, 1e-8); got.Rank() == 0 && full.Rank() > 0 {
+		t.Fatal("GemmLL failed to update a rank-0 C from nonzero operands")
+	}
+	x := make([]float64, 12)
+	y := make([]float64, 12)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	MatVec(sq, 1, x, y)
+	MatVecT(sq, 1, x, y)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("rank-0 MatVec wrote y[%d]=%g", i, v)
+		}
+	}
+	b := la.NewMat(12, 3)
+	cM := la.NewMat(12, 3)
+	MatMul(sq, 1, b, cM)
+	MatMulT(sq, 1, b, cM)
+	if cM.FrobNorm() != 0 {
+		t.Fatal("rank-0 MatMul wrote into C")
+	}
+}
+
+// Structural graphs on an empty shell must never carry zero-flop tasks: the
+// nominal rank is clamped to ≥ 1 even for NB < 8 (the cluster ablation's
+// simulated makespans depend on it).
+func TestStructuralGraphNoZeroFlopTasks(t *testing.T) {
+	for _, nb := range []int{4, 7, 16} {
+		m := NewMatrix(32, nb, 1e-6)
+		g := BuildCholeskyGraph(m, false)
+		for _, task := range g.Tasks() {
+			if task.Flops <= 0 {
+				t.Fatalf("nb=%d: task %q has %g flops", nb, task.Name, task.Flops)
+			}
+		}
+	}
+}

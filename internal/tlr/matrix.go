@@ -57,26 +57,23 @@ func (m *Matrix) Off(i, j int) *CompTile { return m.off[i][j] }
 // FromKernel assembles and compresses the covariance matrix Σ(θ) for pts:
 // diagonal tiles stay dense; each off-diagonal tile is generated densely and
 // immediately compressed with comp (the HiCMA "generate + compress"
-// pipeline). A nugget is added to the diagonal.
-func FromKernel(k *cov.Kernel, pts []geom.Point, metric geom.Metric, n, nb int, tol float64, comp Compressor, nugget float64) *Matrix {
+// pipeline). A nugget is added to the diagonal. The per-tile
+// generate+compress tasks run on the task runtime with the given worker
+// count; the result is bitwise-independent of workers (stochastic
+// compressors are re-seeded per tile, see TileCompressor).
+func FromKernel(k *cov.Kernel, pts []geom.Point, metric geom.Metric, n, nb int, tol float64, comp Compressor, nugget float64, workers int) *Matrix {
 	if len(pts) != n {
 		panic(fmt.Sprintf("tlr: %d points for n=%d", len(pts), n))
 	}
 	m := NewMatrix(n, nb, tol)
-	for i := 0; i < m.MT; i++ {
-		ri := pts[i*nb : i*nb+m.TileDim(i)]
-		d := la.NewMat(m.TileDim(i), m.TileDim(i))
-		k.Block(d, ri, ri, metric)
-		for a := 0; a < d.Rows; a++ {
-			d.Set(a, a, d.At(a, a)+nugget)
-		}
-		m.diag[i] = d
-		for j := 0; j < i; j++ {
-			rj := pts[j*nb : j*nb+m.TileDim(j)]
-			dense := la.NewMat(m.TileDim(i), m.TileDim(j))
-			k.Block(dense, ri, rj, metric)
-			m.off[i][j] = comp.Compress(dense, tol)
-		}
+	spec := &GenSpec{K: k, Pts: pts, Metric: metric, Nugget: nugget, Comp: comp}
+	g := runtime.NewGraph()
+	dh, oh := newTileHandles(g, m)
+	AddGenTasks(g, m, spec, dh, oh, true)
+	if err := g.Execute(runtime.ExecOptions{Workers: workers}); err != nil {
+		// generation and compression cannot fail numerically; a panic here is
+		// a programming error
+		panic(err)
 	}
 	return m
 }
@@ -195,6 +192,16 @@ func flopsGEMMComp(nb, ka, kb, kc int) float64 {
 // costs) differ. When bind is true the tasks mutate m in place.
 func BuildCholeskyGraph(m *Matrix, bind bool) *runtime.Graph {
 	g := runtime.NewGraph()
+	dh, oh := newTileHandles(g, m)
+	addCholeskyTasks(g, m, dh, oh, bind)
+	return g
+}
+
+// newTileHandles registers one data handle per stored tile: dense diagonal
+// tiles and compressed off-diagonal tiles. Compressed handles start with the
+// current tile's footprint (zero for an empty shell) and are refreshed by the
+// generate+compress tasks via SetBytes as ranks change.
+func newTileHandles(g *runtime.Graph, m *Matrix) ([]*runtime.Handle, [][]*runtime.Handle) {
 	dh := make([]*runtime.Handle, m.MT)
 	oh := make([][]*runtime.Handle, m.MT)
 	for i := 0; i < m.MT; i++ {
@@ -209,21 +216,34 @@ func BuildCholeskyGraph(m *Matrix, bind bool) *runtime.Graph {
 			oh[i][j] = g.NewHandle(fmt.Sprintf("C[%d,%d]", i, j), bytes, int64(i)*int64(m.MT)+int64(j))
 		}
 	}
+	return dh, oh
+}
+
+// addCholeskyTasks inserts the TLR POTRF/TRSM/SYRK/GEMM sweep over the given
+// tile handles (shared by BuildCholeskyGraph and the fused
+// generation+factorization graph in gen.go). Task closures dereference m's
+// tiles at run time, so the same graph re-executes correctly after the
+// generation tasks (or GEMM recompressions) replace tile objects.
+func addCholeskyTasks(g *runtime.Graph, m *Matrix, dh []*runtime.Handle, oh [][]*runtime.Handle, bind bool) {
 	rank := func(i, j int) int {
 		if m.off[i][j] != nil {
 			return m.off[i][j].Rank()
 		}
-		// structural graphs assume a nominal rank for costing
-		return m.NB / 8
+		// structural graphs assume a nominal rank for costing; clamp to ≥ 1
+		// so no task degenerates to zero flops (NB < 8 would otherwise yield
+		// zero-cost TRSM/SYRK/GEMM tasks and corrupt simulated makespans)
+		if nominal := m.NB / 8; nominal >= 1 {
+			return nominal
+		}
+		return 1
 	}
 	mt := m.MT
 	for k := 0; k < mt; k++ {
 		k := k
 		var run func()
 		if bind {
-			d := m.diag[k]
 			run = func() {
-				if err := la.Potrf(d); err != nil {
+				if err := la.Potrf(m.diag[k]); err != nil {
 					panic(err)
 				}
 			}
@@ -290,7 +310,6 @@ func BuildCholeskyGraph(m *Matrix, bind bool) *runtime.Graph {
 			}
 		}
 	}
-	return g
 }
 
 // Cholesky factors m in place: on return the diagonal tiles hold dense

@@ -8,6 +8,9 @@ import (
 // block B (cols(tile)×r), the BLAS3 generalization of MatVec.
 func MatMul(a *CompTile, alpha float64, b, c *la.Mat) {
 	k := a.Rank()
+	if k == 0 {
+		return
+	}
 	tmp := la.NewMat(k, b.Cols)
 	la.Gemm(1, a.V, la.Transpose, b, la.NoTrans, 0, tmp)
 	la.Gemm(alpha, a.U, la.NoTrans, tmp, la.NoTrans, 1, c)
@@ -16,6 +19,9 @@ func MatMul(a *CompTile, alpha float64, b, c *la.Mat) {
 // MatMulT computes C += alpha·(U·Vᵀ)ᵀ·B = alpha·V·(Uᵀ·B).
 func MatMulT(a *CompTile, alpha float64, b, c *la.Mat) {
 	k := a.Rank()
+	if k == 0 {
+		return
+	}
 	tmp := la.NewMat(k, b.Cols)
 	la.Gemm(1, a.U, la.Transpose, b, la.NoTrans, 0, tmp)
 	la.Gemm(alpha, a.V, la.NoTrans, tmp, la.NoTrans, 1, c)

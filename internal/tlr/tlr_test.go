@@ -217,7 +217,7 @@ func maternTLR(t *testing.T, n, nb int, rangeP, tol float64) (*Matrix, *la.Mat, 
 	k.Matrix(dense, pts, geom.Euclidean)
 	nugget := 1e-10
 	cov.AddNugget(dense, nugget)
-	m := FromKernel(k, pts, geom.Euclidean, n, nb, tol, SVDCompressor{}, nugget)
+	m := FromKernel(k, pts, geom.Euclidean, n, nb, tol, SVDCompressor{}, nugget, 1)
 	return m, dense, pts
 }
 
