@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench clean
+.PHONY: build test bench verify kernels tlrbench distbench clean
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: vet plus the full suite under the race
-# detector (the parallel assembly, scheduler and evaluator paths are the
-# point of the -race run).
+# verify is the pre-merge gate: vet, a focused uncached race pass over the
+# message-passing and session layers (the rank goroutines, mailboxes and
+# evaluator caches are the point), then the full suite under the race
+# detector (parallel assembly and scheduler paths).
 verify:
 	$(GO) vet ./...
+	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/...
 	$(GO) test -race ./...
 
 bench:
@@ -25,6 +27,11 @@ kernels:
 # tlrbench regenerates the parallel TLR pipeline snapshot.
 tlrbench:
 	$(GO) run ./cmd/paperbench -tlr BENCH_tlr.json
+
+# distbench regenerates the distributed TLR snapshot (likelihood agreement
+# across process grids + communication-model validation).
+distbench:
+	$(GO) run ./cmd/paperbench -dist BENCH_dist.json
 
 clean:
 	$(GO) clean ./...

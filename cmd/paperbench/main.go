@@ -30,6 +30,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		kernels = flag.String("kernels", "", "run the compute-kernel micro-benchmarks, write the JSON report to this path (e.g. BENCH_kernels.json), and exit")
 		tlrpath = flag.String("tlr", "", "run the parallel TLR assemble+compress benchmark, write the JSON report to this path (e.g. BENCH_tlr.json), and exit")
+		dist    = flag.String("dist", "", "run the distributed TLR benchmark (likelihood agreement + comm-model validation), write the JSON report to this path (e.g. BENCH_dist.json), and exit")
 	)
 	flag.Parse()
 
@@ -45,6 +46,15 @@ func main() {
 	if *tlrpath != "" {
 		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
 		if err := exprt.WriteTLRBench(*tlrpath, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *dist != "" {
+		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+		if err := exprt.WriteDistBench(*dist, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -66,10 +66,29 @@ const (
 )
 
 // Config tunes a computation mode; see core.Config for field semantics.
+// Setting Config.Ranks > 1 (Mode must be TLR) selects the distributed-memory
+// backend: the covariance matrix is sharded 2D block-cyclically over a
+// process grid and factored with the distributed TLR Cholesky. All entry
+// points validate the Config and return an error for invalid settings.
 type Config = core.Config
+
+// DefaultConfig returns the library defaults spelled out in one place; the
+// zero Config behaves identically.
+func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Problem is a spatial dataset prepared for estimation.
 type Problem = core.Problem
+
+// Session owns the cached evaluator state (assembly buffers, task graphs,
+// TLR shells, and — for distributed configs — the rank World and matrix
+// shards) for repeated operations on one Problem. The free functions
+// (LogLikelihood, Fit, Predict, ...) are convenience wrappers that build a
+// throwaway Session per call; hold a Session when making many calls so the
+// reuse is part of the API contract.
+type Session = core.Session
+
+// NewSession validates cfg and builds a reusable Session for p.
+func NewSession(p *Problem, cfg Config) (*Session, error) { return core.NewSession(p, cfg) }
 
 // FitOptions, FitResult and LikResult re-export the estimation types.
 type (
@@ -88,17 +107,20 @@ func NewProblem(pts []Point, z []float64, metric Metric) (*Problem, error) {
 }
 
 // LogLikelihood evaluates the Gaussian log-likelihood ℓ(θ) (paper eq. 1).
+// Convenience wrapper over Session.LogLikelihood; evaluating many θ on one
+// problem is cheaper through a shared Session.
 func LogLikelihood(p *Problem, theta Theta, cfg Config) (LikResult, error) {
 	return core.LogLikelihood(p, theta, cfg)
 }
 
 // Fit estimates θ̂ by maximizing the log-likelihood with a derivative-free
-// bound-constrained search.
+// bound-constrained search. Convenience wrapper over Session.Fit.
 func Fit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
 	return core.Fit(p, cfg, opts)
 }
 
-// Predict imputes measurements at new locations (paper eq. 4).
+// Predict imputes measurements at new locations (paper eq. 4). Convenience
+// wrapper over Session.Predict.
 func Predict(p *Problem, newPts []Point, theta Theta, cfg Config) ([]float64, error) {
 	return core.Predict(p, newPts, theta, cfg)
 }

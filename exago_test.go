@@ -46,6 +46,63 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPublicAPISession covers the validated-config surface: DefaultConfig,
+// Validate at the entry points, and the Session handle in both the
+// shared-memory and distributed backends.
+func TestPublicAPISession(t *testing.T) {
+	if err := exago.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	syn, err := exago.GenerateSynthetic(256, 16, exago.Theta{Variance: 1, Range: 0.1, Smoothness: 0.5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := exago.Theta{Variance: 1, Range: 0.1, Smoothness: 0.5}
+
+	if _, err := exago.LogLikelihood(syn.Train, th, exago.Config{CompressorName: "bogus"}); err == nil {
+		t.Fatal("unknown compressor must be rejected, not coerced")
+	}
+	if _, err := exago.NewSession(syn.Train, exago.Config{Mode: exago.FullBlock, Ranks: 4}); err == nil {
+		t.Fatal("distributed ranks require TLR mode")
+	}
+
+	cfg := exago.Config{Mode: exago.TLR, TileSize: 64, Accuracy: 1e-7}
+	want, err := exago.LogLikelihood(syn.Train, th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed session: same value, reusable across calls.
+	dcfg := cfg
+	dcfg.Ranks = 4
+	s, err := exago.NewSession(syn.Train, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().Grid != [2]int{2, 2} {
+		t.Fatalf("Ranks=4 normalized to grid %v", s.Config().Grid)
+	}
+	for rep := 0; rep < 2; rep++ {
+		got, err := s.LogLikelihood(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got.Value-want.Value) / math.Abs(want.Value); rel > 1e-8 {
+			t.Fatalf("rep %d: distributed %.10f vs shared %.10f", rep, got.Value, want.Value)
+		}
+	}
+	pred, err := s.Predict(syn.TestPoints, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := exago.MSE(pred, syn.TestZ); mse <= 0 || mse > 1 {
+		t.Fatalf("distributed prediction MSE %g outside sane band", mse)
+	}
+	if stats := s.CommStats(); len(stats) != 4 || stats[0].BytesSent == 0 {
+		t.Fatalf("expected live per-rank traffic counters, got %+v", stats)
+	}
+}
+
 // TestPublicAPIDatasets exercises the dataset helpers and the spherical
 // metric through the facade.
 func TestPublicAPIDatasets(t *testing.T) {

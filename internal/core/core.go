@@ -22,8 +22,7 @@ import (
 
 	"repro/internal/cov"
 	"repro/internal/geom"
-	"repro/internal/la"
-	"repro/internal/optimize"
+	"repro/internal/tlr"
 )
 
 // Mode selects the computation technique.
@@ -48,36 +47,137 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
-// Config selects and tunes a computation mode.
+// Config selects and tunes a computation mode. The zero value is valid and
+// means "dense full-block, library defaults"; DefaultConfig documents every
+// default in one place. Invalid settings (negative sizes, unknown
+// compressor, inconsistent Ranks/Grid) are rejected by Validate, which every
+// public entry point calls — they are never silently coerced.
 type Config struct {
 	Mode Mode
-	// TileSize is the tile edge nb for FullTile and TLR (default 128).
+	// TileSize is the tile edge nb for FullTile and TLR (0 = default 128).
 	TileSize int
-	// Accuracy is the TLR compression threshold (default 1e-9); ignored by
-	// the dense modes.
+	// Accuracy is the TLR compression threshold (0 = default 1e-9); ignored
+	// by the dense modes.
 	Accuracy float64
 	// CompressorName selects the TLR compression backend ("svd" default,
 	// "rsvd", "aca").
 	CompressorName string
-	// Workers is the runtime worker count (default 1).
+	// Workers is the shared-memory runtime worker count (0 = default 1).
 	Workers int
 	// Nugget is added to the covariance diagonal for numerical stability
-	// (default 1e-9·θ₁).
+	// (0 = default 1e-9·θ₁).
 	Nugget float64
+	// Ranks selects the distributed-memory backend when > 1: the TLR matrix
+	// is sharded 2D block-cyclically over that many ranks and factored with
+	// the distributed TLR Cholesky (internal/mpi). 0 or 1 means the
+	// shared-memory path. Requires Mode == TLR.
+	Ranks int
+	// Grid optionally fixes the process-grid shape {P, Q} of the distributed
+	// backend; P·Q must equal Ranks. Leave zero for the most square grid.
+	Grid [2]int
 }
 
-func (c Config) withDefaults() Config {
-	if c.TileSize <= 0 {
+// DefaultConfig returns the library defaults spelled out: dense full-block
+// mode, 128-point tiles, 1e-9 TLR accuracy with the deterministic SVD
+// compressor, one worker, data-scaled nugget (1e-9·θ₁, encoded as Nugget=0),
+// shared-memory execution. A zero Config behaves identically; this function
+// exists so the defaults are documented and greppable in one place.
+func DefaultConfig() Config {
+	return Config{
+		Mode:           FullBlock,
+		TileSize:       128,
+		Accuracy:       1e-9,
+		CompressorName: "svd",
+		Workers:        1,
+		Nugget:         0,
+		Ranks:          1,
+	}
+}
+
+// Validate checks the configuration and returns a descriptive error instead
+// of coercing bad values. Zero fields mean "use the default" and are always
+// valid; negative or inconsistent fields are not.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case FullBlock, FullTile, TLR:
+	default:
+		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	}
+	if c.TileSize < 0 {
+		return fmt.Errorf("core: negative TileSize %d", c.TileSize)
+	}
+	if c.Accuracy < 0 {
+		return fmt.Errorf("core: negative Accuracy %g", c.Accuracy)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", c.Workers)
+	}
+	if c.Nugget < 0 {
+		return fmt.Errorf("core: negative Nugget %g", c.Nugget)
+	}
+	if _, err := tlr.CompressorByName(c.CompressorName); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Ranks < 0 {
+		return fmt.Errorf("core: negative Ranks %d", c.Ranks)
+	}
+	if c.Grid[0] < 0 || c.Grid[1] < 0 {
+		return fmt.Errorf("core: negative Grid dimension %v", c.Grid)
+	}
+	if (c.Grid[0] == 0) != (c.Grid[1] == 0) {
+		return fmt.Errorf("core: Grid %v must set both dimensions or neither", c.Grid)
+	}
+	if c.Grid[0] > 0 && c.Ranks > 0 && c.Grid[0]*c.Grid[1] != c.Ranks {
+		return fmt.Errorf("core: Grid %v does not tile Ranks=%d", c.Grid, c.Ranks)
+	}
+	ranks := c.Ranks
+	if ranks == 0 && c.Grid[0] > 0 {
+		ranks = c.Grid[0] * c.Grid[1]
+	}
+	if ranks > 1 && c.Mode != TLR {
+		return fmt.Errorf("core: distributed execution (Ranks=%d) requires Mode=TLR, got %v", ranks, c.Mode)
+	}
+	return nil
+}
+
+// normalized fills the zero fields with the DefaultConfig values and
+// resolves the Ranks/Grid pair (Grid implies Ranks; Ranks > 1 without a Grid
+// gets the most square factorization). Callers must Validate first.
+func (c Config) normalized() Config {
+	if c.TileSize == 0 {
 		c.TileSize = 128
 	}
-	if c.Accuracy <= 0 {
+	if c.Accuracy == 0 {
 		c.Accuracy = 1e-9
 	}
-	if c.Workers <= 0 {
+	if c.Workers == 0 {
 		c.Workers = 1
+	}
+	if c.CompressorName == "" {
+		c.CompressorName = "svd"
+	}
+	if c.Ranks == 0 {
+		if c.Grid[0] > 0 {
+			c.Ranks = c.Grid[0] * c.Grid[1]
+		} else {
+			c.Ranks = 1
+		}
+	}
+	if c.Grid[0] == 0 {
+		p := 1
+		for f := 1; f*f <= c.Ranks; f++ {
+			if c.Ranks%f == 0 {
+				p = f
+			}
+		}
+		c.Grid = [2]int{p, c.Ranks / p}
 	}
 	return c
 }
+
+// withDefaults is the legacy normalization used by internal call sites that
+// have already validated (or constructed) their Config.
+func (c Config) withDefaults() Config { return c.normalized() }
 
 func (c Config) nugget(variance float64) float64 {
 	if c.Nugget > 0 {
@@ -127,11 +227,16 @@ type LikResult struct {
 	MeanRank float64
 }
 
-// LogLikelihood evaluates ℓ(θ) for the problem under cfg. Callers that
-// evaluate many θ on one problem (the optimizers) hold an evaluator instead,
-// which reuses buffers and the task graph across evaluations.
+// LogLikelihood evaluates ℓ(θ) for the problem under cfg — the convenience
+// path for one-off evaluations. Callers that evaluate many θ on one problem
+// should hold a Session instead, which owns the cached buffers and task
+// graph explicitly and reuses them across calls.
 func LogLikelihood(p *Problem, theta cov.Params, cfg Config) (LikResult, error) {
-	return newEvaluator(p, cfg).logLikelihood(theta)
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		return LikResult{}, err
+	}
+	return s.LogLikelihood(theta)
 }
 
 // FitOptions controls the MLE search.
@@ -203,95 +308,27 @@ func (o FitOptions) withDefaults(p *Problem) FitOptions {
 }
 
 // Fit estimates θ̂ by maximizing the log-likelihood with the derivative-free
-// optimizer. The search runs over log-transformed variance and range (their
-// scales span decades) and linear smoothness.
+// optimizer — the convenience path wrapping Session.Fit on a fresh Session.
+// The search runs over log-transformed variance and range (their scales span
+// decades) and linear smoothness.
 func Fit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
-	cfg = cfg.withDefaults()
-	o := opts.withDefaults(p)
-
-	dim := 3
-	if o.FixSmoothness {
-		dim = 2
-	}
-	toTheta := func(x []float64) cov.Params {
-		t := cov.Params{
-			Variance: math.Exp(x[0]),
-			Range:    math.Exp(x[1]),
-		}
-		if o.FixSmoothness {
-			t.Smoothness = o.Start.Smoothness
-		} else {
-			t.Smoothness = x[2]
-		}
-		return t
-	}
-	lower := []float64{math.Log(o.Lower.Variance), math.Log(o.Lower.Range), o.Lower.Smoothness}[:dim]
-	upper := []float64{math.Log(o.Upper.Variance), math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
-	start := []float64{math.Log(o.Start.Variance), math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
-
-	// One evaluator serves every objective call: the Σ buffer (FullBlock) or
-	// tile descriptors plus the generation+factorization DAG (FullTile) are
-	// built once and re-executed per θ instead of reallocated per iteration.
-	ev := newEvaluator(p, cfg)
-	var lastErr error
-	obj := func(x []float64) float64 {
-		lik, err := ev.logLikelihood(toTheta(x))
-		if err != nil {
-			lastErr = err
-			return math.Inf(1)
-		}
-		return -lik.Value
-	}
-	res, err := optimize.NelderMead(
-		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
-		start,
-		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
-	)
+	s, err := NewSession(p, cfg)
 	if err != nil {
 		return FitResult{}, err
 	}
-	if math.IsInf(res.F, 1) {
-		return FitResult{}, fmt.Errorf("core: every likelihood evaluation failed: %w", lastErr)
-	}
-	return FitResult{
-		Theta:     toTheta(res.X),
-		LogL:      -res.F,
-		Evals:     res.Evals,
-		Converged: res.Converged,
-	}, nil
+	return s.Fit(opts)
 }
 
 // Predict imputes measurements at newPts from the fitted model (paper eq. 4):
 // Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂, with Σ₂₂ factored in the configured mode and the
-// (small) cross-covariance Σ₁₂ applied densely row by row.
+// (small) cross-covariance Σ₁₂ applied densely row by row. Convenience path
+// wrapping Session.Predict on a fresh Session.
 func Predict(p *Problem, newPts []geom.Point, theta cov.Params, cfg Config) ([]float64, error) {
-	if err := theta.Validate(); err != nil {
-		return nil, err
-	}
-	if len(newPts) == 0 {
-		return nil, nil
-	}
-	cfg = cfg.withDefaults()
-	n := p.N()
-	m := len(newPts)
-	k := cov.NewKernel(theta)
-	f, err := Factorize(p, theta, cfg)
+	s, err := NewSession(p, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	// y = Σ22⁻¹ Z2
-	y := append([]float64(nil), p.Z...)
-	f.Solve(y)
-
-	// Ẑ1 = Σ12 · y, assembled one row at a time to bound memory.
-	out := make([]float64, m)
-	cross := la.NewMat(1, n)
-	for i := 0; i < m; i++ {
-		k.Block(cross, newPts[i:i+1], p.Points, p.Metric)
-		out[i] = la.Dot(cross.Row(0), y)
-	}
-	return out, nil
+	return s.Predict(newPts, theta)
 }
 
 // MSE returns the mean squared error between predictions and truth

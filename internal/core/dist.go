@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cov"
+	"repro/internal/la"
+	"repro/internal/mpi"
+	"repro/internal/tlr"
+)
+
+// User-range allreduce tags of the distributed likelihood (each AllreduceSum
+// consumes tag and tag+1, hence the spacing).
+const (
+	distTagQuad    = 1 // quadratic-form partial sums
+	distTagBytes   = 3 // shard storage footprints
+	distTagMaxRank = 5 // max compressed rank
+	distTagRankSum = 7 // rank sum (mean-rank numerator)
+	distTagRankCnt = 9 // compressed-tile count (mean-rank denominator)
+)
+
+// distEvaluator is the distributed-memory counterpart of evaluator: it owns
+// a persistent World and one DistTLR shard per rank, both reused across the
+// optimizer's evaluations — shards regenerate their owned tiles per θ
+// instead of reallocating, and the World's mailboxes are drained by every
+// collective, so evaluation k+1 starts from a clean slate.
+type distEvaluator struct {
+	p    *Problem
+	cfg  Config
+	grid mpi.Grid
+	comp tlr.Compressor
+
+	world  *mpi.World
+	shards []*mpi.DistTLR
+}
+
+func newDistEvaluator(p *Problem, cfg Config) (*distEvaluator, error) {
+	comp, err := tlr.CompressorByName(cfg.CompressorName)
+	if err != nil {
+		return nil, err
+	}
+	return &distEvaluator{
+		p:    p,
+		cfg:  cfg,
+		grid: mpi.Grid{P: cfg.Grid[0], Q: cfg.Grid[1]},
+		comp: comp,
+
+		world:  mpi.NewWorld(cfg.Ranks),
+		shards: make([]*mpi.DistTLR, cfg.Ranks),
+	}, nil
+}
+
+// withFactored regenerates the shards for kernel k, factors them with the
+// distributed TLR Cholesky, and runs fn on every rank against its factored
+// shard. The first rank error (they agree on factorization failures) is
+// returned.
+func (e *distEvaluator) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi.Comm, d *mpi.DistTLR) error) error {
+	errs := e.world.Run(func(c *mpi.Comm) error {
+		d := e.shards[c.Rank()]
+		if d == nil {
+			d = mpi.NewDistTLR(c.Rank(), e.grid, e.p.Points, e.p.Metric, e.cfg.TileSize, e.cfg.Accuracy, e.comp)
+			e.shards[c.Rank()] = d
+		}
+		d.Generate(k, nugget)
+		if err := d.Cholesky(c); err != nil {
+			return err
+		}
+		return fn(c, d)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalParts runs one distributed likelihood evaluation: factor, log|Σ| via
+// the factor's allreduce, L⁻¹Z via the replicated forward solve, and the
+// quadratic form plus the diagnostic stats via one AllreduceSum each.
+func (e *distEvaluator) evalParts(k *cov.Kernel, nugget float64) (logDet, quad float64, diag LikResult, err error) {
+	type parts struct {
+		logDet, quad              float64
+		bytes                     float64
+		maxRank, rankSum, rankCnt float64
+	}
+	out := make([]parts, e.cfg.Ranks)
+	err = e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
+		ld := d.LogDet(c)
+		y := append([]float64(nil), e.p.Z...)
+		d.ForwardSolve(c, y)
+		// per-rank partial ‖y‖² over owned diagonal blocks: every element
+		// counted exactly once, combined with one AllreduceSum
+		var part float64
+		for i := 0; i < d.MT; i++ {
+			if d.Grid.Owner(i, i) == c.Rank() {
+				yi := y[i*d.NB : i*d.NB+d.TileDim(i)]
+				part += la.Dot(yi, yi)
+			}
+		}
+		quad := c.AllreduceSum(distTagQuad, part)
+		bytes := c.AllreduceSum(distTagBytes, float64(d.Bytes()))
+		maxR, sumR, cntR := d.LocalRankStats()
+		maxRank := c.AllreduceMax(distTagMaxRank, float64(maxR))
+		rankSum := c.AllreduceSum(distTagRankSum, float64(sumR))
+		rankCnt := c.AllreduceSum(distTagRankCnt, float64(cntR))
+		out[c.Rank()] = parts{
+			logDet: ld, quad: quad, bytes: bytes,
+			maxRank: maxRank, rankSum: rankSum, rankCnt: rankCnt,
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, LikResult{}, err
+	}
+	p0 := out[0]
+	diag = LikResult{Bytes: int64(p0.bytes), MaxRank: int(p0.maxRank)}
+	if p0.rankCnt > 0 {
+		diag.MeanRank = p0.rankSum / p0.rankCnt
+	}
+	return p0.logDet, p0.quad, diag, nil
+}
+
+// logLikelihood evaluates ℓ(θ) (paper eq. 1) on the distributed backend:
+// one AllreduceSum for the log-determinant term, one for the quadratic form.
+func (e *distEvaluator) logLikelihood(theta cov.Params) (LikResult, error) {
+	if err := theta.Validate(); err != nil {
+		return LikResult{}, err
+	}
+	logDet, quad, res, err := e.evalParts(cov.NewKernel(theta), e.cfg.nugget(theta.Variance))
+	if err != nil {
+		return LikResult{}, err
+	}
+	res.LogDet = logDet
+	res.QuadForm = quad
+	n := float64(e.p.N())
+	res.Value = -0.5*n*math.Log(2*math.Pi) - 0.5*logDet - 0.5*quad
+	return res, nil
+}
+
+// profiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃) on
+// the distributed backend (see ProfiledLogLikelihood).
+func (e *distEvaluator) profiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
+	theta := cov.Params{Variance: 1, Range: rangeP, Smoothness: smoothness}
+	if err := theta.Validate(); err != nil {
+		return 0, 0, err
+	}
+	logDet, quad, _, err := e.evalParts(cov.NewKernel(theta), e.cfg.nugget(1))
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(e.p.N())
+	varianceHat = quad / n
+	if varianceHat <= 0 {
+		return 0, 0, fmt.Errorf("core: degenerate profiled variance %g", varianceHat)
+	}
+	logL = -0.5*n*(math.Log(2*math.Pi)+1+math.Log(varianceHat)) - 0.5*logDet
+	return logL, varianceHat, nil
+}
+
+// solve overwrites b with Σ⁻¹·b using the distributed factorization. Every
+// rank works on a private replica; rank 0's (identical) result is copied
+// back into b.
+func (e *distEvaluator) solve(k *cov.Kernel, nugget float64, b []float64) error {
+	replicas := make([][]float64, e.cfg.Ranks)
+	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
+		y := append([]float64(nil), b...)
+		d.Solve(c, y)
+		replicas[c.Rank()] = y
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	copy(b, replicas[0])
+	return nil
+}
+
+// halfSolve overwrites the n×m block w with L⁻¹·w and the vector y with
+// L⁻¹·y (the prediction-variance pair), again on private per-rank replicas.
+func (e *distEvaluator) halfSolve(k *cov.Kernel, nugget float64, w *la.Mat, y []float64) error {
+	type res struct {
+		w *la.Mat
+		y []float64
+	}
+	replicas := make([]res, e.cfg.Ranks)
+	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
+		wr := w.Clone()
+		yr := append([]float64(nil), y...)
+		d.ForwardSolveMat(c, wr)
+		d.ForwardSolve(c, yr)
+		replicas[c.Rank()] = res{w: wr, y: yr}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w.CopyFrom(replicas[0].w)
+	copy(y, replicas[0].y)
+	return nil
+}
+
+// CommStats returns the per-rank cumulative traffic of the distributed
+// backend (nil for shared-memory sessions) — the measured counterpart of
+// cluster.DistCholeskyComm.
+func (s *Session) CommStats() []mpi.CommStats {
+	if s.dev == nil {
+		return nil
+	}
+	out := make([]mpi.CommStats, s.dev.cfg.Ranks)
+	for r := range out {
+		out[r] = s.dev.world.Stats(r)
+	}
+	return out
+}

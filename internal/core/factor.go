@@ -28,12 +28,21 @@ type Factor interface {
 	RankStats() (int, float64)
 }
 
-// Factorize assembles Σ(θ) for the problem and factors it under cfg.
+// Factorize assembles Σ(θ) for the problem and factors it under cfg. The
+// returned Factor is a shared-memory object; distributed configurations
+// (Ranks > 1) are rejected — use a Session, whose methods keep the factor
+// sharded across ranks.
 func Factorize(p *Problem, theta cov.Params, cfg Config) (Factor, error) {
 	if err := theta.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	if cfg.Ranks > 1 {
+		return nil, fmt.Errorf("core: Factorize is shared-memory only (Ranks=%d); use Session", cfg.Ranks)
+	}
 	k := cov.NewKernel(theta)
 	return factorizeKernel(p, k, cfg, cfg.nugget(theta.Variance))
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cov"
 	"repro/internal/geom"
-	"repro/internal/la"
 )
 
 // Prediction carries point predictions with their conditional uncertainty
@@ -28,48 +27,14 @@ func (p Prediction) CI95(i int) float64 { return 1.96 * math.Sqrt(p.Variance[i])
 //
 //	W = L⁻¹·Σ₂₁  (n×m),  y = L⁻¹·Z₂,
 //	mean_i = W[:,i]ᵀ·y,   var_i = C(0) − ‖W[:,i]‖².
+//
+// Convenience path wrapping Session.PredictWithVariance on a fresh Session.
 func PredictWithVariance(p *Problem, newPts []geom.Point, theta cov.Params, cfg Config) (Prediction, error) {
-	if err := theta.Validate(); err != nil {
-		return Prediction{}, err
-	}
-	if len(newPts) == 0 {
-		return Prediction{}, nil
-	}
-	cfg = cfg.withDefaults()
-	n := p.N()
-	m := len(newPts)
-	k := cov.NewKernel(theta)
-
-	f, err := Factorize(p, theta, cfg)
+	s, err := NewSession(p, cfg)
 	if err != nil {
 		return Prediction{}, err
 	}
-
-	// W = L⁻¹ Σ21 (n×m) and y = L⁻¹ Z in one half-solve each.
-	w := la.NewMat(n, m)
-	k.Block(w, p.Points, newPts, p.Metric)
-	f.HalfSolveMat(w)
-	y := append([]float64(nil), p.Z...)
-	f.HalfSolve(y)
-
-	pr := Prediction{Mean: make([]float64, m), Variance: make([]float64, m)}
-	c0 := k.At(0)
-	for i := 0; i < m; i++ {
-		var mean, norm2 float64
-		for r := 0; r < n; r++ {
-			wi := w.At(r, i)
-			mean += wi * y[r]
-			norm2 += wi * wi
-		}
-		pr.Mean[i] = mean
-		v := c0 - norm2
-		if v < 0 {
-			// clamp tiny negative values from approximation error
-			v = 0
-		}
-		pr.Variance[i] = v
-	}
-	return pr, nil
+	return s.PredictWithVariance(newPts, theta)
 }
 
 // CoverageCheck counts how many truths fall inside the pointwise 95%

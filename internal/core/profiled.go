@@ -1,12 +1,5 @@
 package core
 
-import (
-	"fmt"
-	"math"
-
-	"repro/internal/cov"
-	"repro/internal/optimize"
-)
 
 // ProfiledLogLikelihood evaluates the profile log-likelihood: the variance
 // θ₁ is concentrated out analytically. Writing Σ(θ) = θ₁·R(θ₂, θ₃) with R
@@ -20,65 +13,24 @@ import (
 //
 // This reduces the optimizer's search from 3 dimensions to 2 — the standard
 // concentrated-likelihood trick ExaGeoStat's drivers also expose.
+// Convenience path wrapping Session.ProfiledLogLikelihood.
 func ProfiledLogLikelihood(p *Problem, rangeP, smoothness float64, cfg Config) (logL float64, varianceHat float64, err error) {
-	return newEvaluator(p, cfg).profiledLogLikelihood(rangeP, smoothness)
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.ProfiledLogLikelihood(rangeP, smoothness)
 }
 
 // ProfiledFit estimates θ̂ by maximizing the profile likelihood over
 // (θ₂, θ₃) and recovering θ̂₁ in closed form. It typically needs far fewer
 // likelihood evaluations than the full 3-parameter Fit for the same
-// accuracy (see the profiled-fit ablation benchmark).
+// accuracy (see the profiled-fit ablation benchmark). Convenience path
+// wrapping Session.ProfiledFit on a fresh Session.
 func ProfiledFit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
-	cfg = cfg.withDefaults()
-	o := opts.withDefaults(p)
-
-	dim := 2
-	if o.FixSmoothness {
-		dim = 1
-	}
-	lower := []float64{math.Log(o.Lower.Range), o.Lower.Smoothness}[:dim]
-	upper := []float64{math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
-	start := []float64{math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
-
-	smoothOf := func(x []float64) float64 {
-		if o.FixSmoothness {
-			return o.Start.Smoothness
-		}
-		return x[1]
-	}
-	// As in Fit, one evaluator carries the assembly buffers and task graph
-	// through the whole search.
-	ev := newEvaluator(p, cfg)
-	var lastErr error
-	obj := func(x []float64) float64 {
-		ll, _, err := ev.profiledLogLikelihood(math.Exp(x[0]), smoothOf(x))
-		if err != nil {
-			lastErr = err
-			return math.Inf(1)
-		}
-		return -ll
-	}
-	res, err := optimize.NelderMead(
-		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
-		start,
-		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
-	)
+	s, err := NewSession(p, cfg)
 	if err != nil {
 		return FitResult{}, err
 	}
-	if math.IsInf(res.F, 1) {
-		return FitResult{}, fmt.Errorf("core: every profiled evaluation failed: %w", lastErr)
-	}
-	rangeHat := math.Exp(res.X[0])
-	smoothHat := smoothOf(res.X)
-	ll, varHat, err := ev.profiledLogLikelihood(rangeHat, smoothHat)
-	if err != nil {
-		return FitResult{}, err
-	}
-	return FitResult{
-		Theta:     cov.Params{Variance: varHat, Range: rangeHat, Smoothness: smoothHat},
-		LogL:      ll,
-		Evals:     res.Evals + 1,
-		Converged: res.Converged,
-	}, nil
+	return s.ProfiledFit(opts)
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the heaviest
+// distributed tests skip themselves under -race (they are covered by the
+// plain run, and smaller distributed tests keep the concurrency coverage).
+const raceEnabled = false

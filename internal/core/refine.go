@@ -31,8 +31,14 @@ func SolveRefined(p *Problem, theta cov.Params, cfg Config, b []float64, opts Re
 	if len(b) != p.N() {
 		return nil, tlr.RefineResult{}, fmt.Errorf("core: rhs length %d for n=%d", len(b), p.N())
 	}
-	cfg = cfg.withDefaults()
 	cfg.Mode = TLR
+	if err := cfg.Validate(); err != nil {
+		return nil, tlr.RefineResult{}, err
+	}
+	cfg = cfg.normalized()
+	if cfg.Ranks > 1 {
+		return nil, tlr.RefineResult{}, fmt.Errorf("core: SolveRefined is shared-memory only (Ranks=%d)", cfg.Ranks)
+	}
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-10
 	}

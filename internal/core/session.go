@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/optimize"
+)
+
+// Session owns the cached per-problem state that repeated likelihood
+// evaluations, fits and predictions on one dataset share: the Σ buffer
+// (FullBlock), the tile descriptors and generation+factorization DAG
+// (FullTile), the TLR shell and fused DAG (TLR), or the distributed World
+// and per-rank shards (TLR with Config.Ranks > 1). The free functions
+// (LogLikelihood, Fit, Predict, ...) are thin wrappers that build a
+// throwaway Session per call; hold a Session explicitly when making many
+// calls on one problem so the reuse is part of the API contract rather than
+// hidden package state.
+//
+// A Session is NOT safe for concurrent use: evaluations share cached
+// buffers, and results of one call may be invalidated by the next.
+type Session struct {
+	p   *Problem
+	cfg Config // validated and normalized
+
+	ev  *evaluator     // shared-memory backend (Ranks == 1)
+	dev *distEvaluator // distributed backend (Ranks > 1)
+}
+
+// NewSession validates cfg, normalizes its zero fields to the documented
+// defaults, and builds the backend the configuration selects. The returned
+// Session is ready for repeated Fit/LogLikelihood/Predict calls.
+func NewSession(p *Problem, cfg Config) (*Session, error) {
+	if p == nil || p.N() == 0 {
+		return nil, fmt.Errorf("core: nil or empty problem")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	s := &Session{p: p, cfg: cfg}
+	if cfg.Ranks > 1 {
+		dev, err := newDistEvaluator(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.dev = dev
+	} else {
+		s.ev = newEvaluator(p, cfg)
+	}
+	return s, nil
+}
+
+// Config returns the session's normalized configuration (defaults resolved).
+func (s *Session) Config() Config { return s.cfg }
+
+// Problem returns the dataset the session operates on.
+func (s *Session) Problem() *Problem { return s.p }
+
+// LogLikelihood evaluates ℓ(θ) (paper eq. 1), reusing the session's cached
+// state across calls.
+func (s *Session) LogLikelihood(theta cov.Params) (LikResult, error) {
+	if s.dev != nil {
+		return s.dev.logLikelihood(theta)
+	}
+	return s.ev.logLikelihood(theta)
+}
+
+// ProfiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃)
+// (see the package-level ProfiledLogLikelihood for the formulation).
+func (s *Session) ProfiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
+	if s.dev != nil {
+		return s.dev.profiledLogLikelihood(rangeP, smoothness)
+	}
+	return s.ev.profiledLogLikelihood(rangeP, smoothness)
+}
+
+// Fit estimates θ̂ by maximizing the log-likelihood with the derivative-free
+// optimizer. The search runs over log-transformed variance and range (their
+// scales span decades) and linear smoothness. Every objective call reuses
+// the session's cached factorization state.
+func (s *Session) Fit(opts FitOptions) (FitResult, error) {
+	o := opts.withDefaults(s.p)
+
+	dim := 3
+	if o.FixSmoothness {
+		dim = 2
+	}
+	toTheta := func(x []float64) cov.Params {
+		t := cov.Params{
+			Variance: math.Exp(x[0]),
+			Range:    math.Exp(x[1]),
+		}
+		if o.FixSmoothness {
+			t.Smoothness = o.Start.Smoothness
+		} else {
+			t.Smoothness = x[2]
+		}
+		return t
+	}
+	lower := []float64{math.Log(o.Lower.Variance), math.Log(o.Lower.Range), o.Lower.Smoothness}[:dim]
+	upper := []float64{math.Log(o.Upper.Variance), math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
+	start := []float64{math.Log(o.Start.Variance), math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
+
+	var lastErr error
+	obj := func(x []float64) float64 {
+		lik, err := s.LogLikelihood(toTheta(x))
+		if err != nil {
+			lastErr = err
+			return math.Inf(1)
+		}
+		return -lik.Value
+	}
+	res, err := optimize.NelderMead(
+		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
+		start,
+		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
+	)
+	if err != nil {
+		return FitResult{}, err
+	}
+	if math.IsInf(res.F, 1) {
+		return FitResult{}, fmt.Errorf("core: every likelihood evaluation failed: %w", lastErr)
+	}
+	return FitResult{
+		Theta:     toTheta(res.X),
+		LogL:      -res.F,
+		Evals:     res.Evals,
+		Converged: res.Converged,
+	}, nil
+}
+
+// ProfiledFit estimates θ̂ via the concentrated likelihood over (θ₂, θ₃),
+// recovering θ̂₁ in closed form (see the package-level ProfiledFit).
+func (s *Session) ProfiledFit(opts FitOptions) (FitResult, error) {
+	o := opts.withDefaults(s.p)
+
+	dim := 2
+	if o.FixSmoothness {
+		dim = 1
+	}
+	lower := []float64{math.Log(o.Lower.Range), o.Lower.Smoothness}[:dim]
+	upper := []float64{math.Log(o.Upper.Range), o.Upper.Smoothness}[:dim]
+	start := []float64{math.Log(o.Start.Range), o.Start.Smoothness}[:dim]
+
+	smoothOf := func(x []float64) float64 {
+		if o.FixSmoothness {
+			return o.Start.Smoothness
+		}
+		return x[1]
+	}
+	var lastErr error
+	obj := func(x []float64) float64 {
+		ll, _, err := s.ProfiledLogLikelihood(math.Exp(x[0]), smoothOf(x))
+		if err != nil {
+			lastErr = err
+			return math.Inf(1)
+		}
+		return -ll
+	}
+	res, err := optimize.NelderMead(
+		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
+		start,
+		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
+	)
+	if err != nil {
+		return FitResult{}, err
+	}
+	if math.IsInf(res.F, 1) {
+		return FitResult{}, fmt.Errorf("core: every profiled evaluation failed: %w", lastErr)
+	}
+	rangeHat := math.Exp(res.X[0])
+	smoothHat := smoothOf(res.X)
+	ll, varHat, err := s.ProfiledLogLikelihood(rangeHat, smoothHat)
+	if err != nil {
+		return FitResult{}, err
+	}
+	return FitResult{
+		Theta:     cov.Params{Variance: varHat, Range: rangeHat, Smoothness: smoothHat},
+		LogL:      ll,
+		Evals:     res.Evals + 1,
+		Converged: res.Converged,
+	}, nil
+}
+
+// Predict imputes measurements at newPts from the fitted model (paper
+// eq. 4): Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂.
+func (s *Session) Predict(newPts []geom.Point, theta cov.Params) ([]float64, error) {
+	if err := theta.Validate(); err != nil {
+		return nil, err
+	}
+	if len(newPts) == 0 {
+		return nil, nil
+	}
+	p := s.p
+	k := cov.NewKernel(theta)
+	nugget := s.cfg.nugget(theta.Variance)
+
+	// y = Σ22⁻¹ Z2
+	y := append([]float64(nil), p.Z...)
+	if s.dev != nil {
+		if err := s.dev.solve(k, nugget, y); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := s.ev.factorize(k, nugget)
+		if err != nil {
+			return nil, err
+		}
+		f.Solve(y)
+	}
+
+	// Ẑ1 = Σ12 · y, assembled one row at a time to bound memory.
+	n := p.N()
+	out := make([]float64, len(newPts))
+	cross := la.NewMat(1, n)
+	for i := range newPts {
+		k.Block(cross, newPts[i:i+1], p.Points, p.Metric)
+		out[i] = la.Dot(cross.Row(0), y)
+	}
+	return out, nil
+}
+
+// PredictWithVariance computes the conditional mean AND variance at newPts
+// (paper eq. 3):
+//
+//	W = L⁻¹·Σ₂₁  (n×m),  y = L⁻¹·Z₂,
+//	mean_i = W[:,i]ᵀ·y,   var_i = C(0) − ‖W[:,i]‖².
+func (s *Session) PredictWithVariance(newPts []geom.Point, theta cov.Params) (Prediction, error) {
+	if err := theta.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if len(newPts) == 0 {
+		return Prediction{}, nil
+	}
+	p := s.p
+	n := p.N()
+	m := len(newPts)
+	k := cov.NewKernel(theta)
+	nugget := s.cfg.nugget(theta.Variance)
+
+	w := la.NewMat(n, m)
+	k.Block(w, p.Points, newPts, p.Metric)
+	y := append([]float64(nil), p.Z...)
+	if s.dev != nil {
+		if err := s.dev.halfSolve(k, nugget, w, y); err != nil {
+			return Prediction{}, err
+		}
+	} else {
+		f, err := s.ev.factorize(k, nugget)
+		if err != nil {
+			return Prediction{}, err
+		}
+		f.HalfSolveMat(w)
+		f.HalfSolve(y)
+	}
+
+	pr := Prediction{Mean: make([]float64, m), Variance: make([]float64, m)}
+	c0 := k.At(0)
+	for i := 0; i < m; i++ {
+		var mean, norm2 float64
+		for r := 0; r < n; r++ {
+			wi := w.At(r, i)
+			mean += wi * y[r]
+			norm2 += wi * wi
+		}
+		pr.Mean[i] = mean
+		v := c0 - norm2
+		if v < 0 {
+			// clamp tiny negative values from approximation error
+			v = 0
+		}
+		pr.Variance[i] = v
+	}
+	return pr, nil
+}

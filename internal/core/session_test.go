@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" = valid
+	}{
+		{"zero value", Config{}, ""},
+		{"defaults", DefaultConfig(), ""},
+		{"tlr", Config{Mode: TLR, Accuracy: 1e-7, CompressorName: "rsvd"}, ""},
+		{"dist", Config{Mode: TLR, Ranks: 6}, ""},
+		{"dist grid", Config{Mode: TLR, Ranks: 6, Grid: [2]int{2, 3}}, ""},
+		{"grid implies ranks", Config{Mode: TLR, Grid: [2]int{2, 2}}, ""},
+		{"unknown mode", Config{Mode: Mode(9)}, "unknown mode"},
+		{"negative tile", Config{TileSize: -1}, "TileSize"},
+		{"negative accuracy", Config{Accuracy: -1e-9}, "Accuracy"},
+		{"negative workers", Config{Workers: -2}, "Workers"},
+		{"negative nugget", Config{Nugget: -1}, "Nugget"},
+		{"bad compressor", Config{CompressorName: "zstd"}, "unknown compressor"},
+		{"negative ranks", Config{Ranks: -4}, "Ranks"},
+		{"negative grid", Config{Grid: [2]int{-2, 2}}, "Grid"},
+		{"half grid", Config{Grid: [2]int{2, 0}}, "both dimensions"},
+		{"grid ranks mismatch", Config{Mode: TLR, Ranks: 4, Grid: [2]int{2, 3}}, "does not tile"},
+		{"dist dense", Config{Mode: FullBlock, Ranks: 4}, "requires Mode=TLR"},
+		{"dist full tile", Config{Mode: FullTile, Grid: [2]int{2, 2}}, "requires Mode=TLR"},
+	} {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	got := Config{}.normalized()
+	want := DefaultConfig().normalized()
+	if got != want {
+		t.Fatalf("zero Config normalizes to %+v, DefaultConfig to %+v", got, want)
+	}
+	if got.TileSize != 128 || got.Accuracy != 1e-9 || got.Workers != 1 ||
+		got.CompressorName != "svd" || got.Ranks != 1 || got.Grid != [2]int{1, 1} {
+		t.Fatalf("unexpected defaults: %+v", got)
+	}
+	// Ranks=6 without a grid factors most-square, P ≤ Q.
+	if c := (Config{Mode: TLR, Ranks: 6}).normalized(); c.Grid != [2]int{2, 3} {
+		t.Fatalf("Ranks=6 grid = %v, want {2 3}", c.Grid)
+	}
+	// Grid implies Ranks.
+	if c := (Config{Mode: TLR, Grid: [2]int{2, 2}}).normalized(); c.Ranks != 4 {
+		t.Fatalf("Grid {2,2} ranks = %d, want 4", c.Ranks)
+	}
+}
+
+// Entry points must reject invalid configs instead of coercing them.
+func TestEntryPointsValidateConfig(t *testing.T) {
+	p := smallProblem(t, 64, 3)
+	bad := Config{Mode: TLR, CompressorName: "nope"}
+	if _, err := LogLikelihood(p, theta(), bad); err == nil {
+		t.Error("LogLikelihood accepted an unknown compressor")
+	}
+	if _, err := Fit(p, Config{TileSize: -5}, FitOptions{}); err == nil {
+		t.Error("Fit accepted a negative TileSize")
+	}
+	if _, err := Predict(p, p.Points[:2], theta(), Config{Accuracy: -1}); err == nil {
+		t.Error("Predict accepted a negative Accuracy")
+	}
+	if _, err := PredictWithVariance(p, p.Points[:2], theta(), Config{Nugget: -1}); err == nil {
+		t.Error("PredictWithVariance accepted a negative Nugget")
+	}
+	if _, _, err := ProfiledLogLikelihood(p, 0.1, 0.5, Config{Workers: -1}); err == nil {
+		t.Error("ProfiledLogLikelihood accepted negative Workers")
+	}
+	if _, err := Factorize(p, theta(), Config{Mode: TLR, Ranks: 4}); err == nil {
+		t.Error("Factorize must reject distributed configs")
+	}
+	if _, _, err := SolveRefined(p, theta(), Config{Ranks: 4}, make([]float64, p.N()), RefineOptions{}); err == nil {
+		t.Error("SolveRefined must reject distributed configs")
+	}
+	if _, err := NewSession(nil, Config{}); err == nil {
+		t.Error("NewSession accepted a nil problem")
+	}
+}
+
+// A Session must produce the same results as the free functions and remain
+// consistent across repeated calls (the explicit-reuse contract).
+func TestSessionMatchesFreeFunctions(t *testing.T) {
+	p := smallProblem(t, 100, 4)
+	cfg := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-8}
+	th := theta()
+
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LogLikelihood(p, th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		got, err := s.LogLikelihood(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != want.Value || got.LogDet != want.LogDet {
+			t.Fatalf("rep %d: session %v free %v", rep, got, want)
+		}
+	}
+
+	wantPred, err := Predict(p, p.Points[:3], th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPred, err := s.Predict(p.Points[:3], th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantPred {
+		if math.Abs(gotPred[i]-wantPred[i]) > 1e-9 {
+			t.Fatalf("prediction %d: session %g free %g", i, gotPred[i], wantPred[i])
+		}
+	}
+
+	if s.Config().TileSize != 32 || s.Config().Ranks != 1 {
+		t.Fatalf("session config not normalized: %+v", s.Config())
+	}
+}
+
+func TestSessionFitMatchesFreeFit(t *testing.T) {
+	p := smallProblem(t, 100, 5)
+	cfg := Config{Mode: FullBlock}
+	opts := FitOptions{FixSmoothness: true, Start: theta(), MaxEvals: 40}
+	want, err := Fit(p, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Fit(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Theta != want.Theta || got.Evals != want.Evals {
+		t.Fatalf("session fit %+v, free fit %+v", got, want)
+	}
+}

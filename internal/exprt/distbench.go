@@ -1,0 +1,182 @@
+package exprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/la"
+	"repro/internal/mpi"
+	"repro/internal/tlr"
+)
+
+// DistBench validates the distributed-memory TLR backend against both the
+// shared-memory computation (likelihood agreement) and the analytic
+// communication model of internal/cluster (per-rank bytes sent during the
+// Cholesky phase within a factor of two). It is the measured counterpart to
+// the paper's distributed performance studies (§VIII-B), at laptop scale.
+
+// DistRankRow compares one rank's measured Cholesky-phase traffic with the
+// analytic prediction.
+type DistRankRow struct {
+	Rank          int     `json:"rank"`
+	SentBytes     int64   `json:"sent_bytes"`
+	RecvBytes     int64   `json:"recv_bytes"`
+	MsgsSent      int64   `json:"msgs_sent"`
+	AnalyticBytes float64 `json:"analytic_sent_bytes"`
+	Ratio         float64 `json:"ratio"` // measured / analytic (1 when both silent)
+}
+
+// DistGridResult is the outcome of one process-grid configuration.
+type DistGridResult struct {
+	P          int           `json:"p"`
+	Q          int           `json:"q"`
+	Ranks      int           `json:"ranks"`
+	LogLik     float64       `json:"loglik"`
+	RelErr     float64       `json:"rel_err_vs_shared"`
+	FactorMS   float64       `json:"factor_ms"`
+	PerRank    []DistRankRow `json:"per_rank"`
+	WithinTwoX bool          `json:"within_two_x"`
+}
+
+// DistBenchReport is the JSON payload of BENCH_dist.json.
+type DistBenchReport struct {
+	N            int              `json:"n"`
+	NB           int              `json:"nb"`
+	Tol          float64          `json:"tol"`
+	Compressor   string           `json:"compressor"`
+	SharedLogLik float64          `json:"shared_loglik"`
+	Grids        []DistGridResult `json:"grids"`
+}
+
+// DistBench runs the distributed TLR likelihood at n=1600, nb=128, acc=1e-7
+// on 1×1, 2×2 and 2×3 process grids.
+func DistBench(o Options) (*DistBenchReport, error) {
+	o = o.withDefaults()
+	const (
+		n   = 1600
+		nb  = 128
+		tol = 1e-7
+	)
+	truth := cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5}
+	syn, err := core.GenerateSynthetic(n, 0, truth, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := syn.Train
+	cfg := core.Config{Mode: core.TLR, TileSize: nb, Accuracy: tol, CompressorName: "rsvd", Workers: o.Workers}
+	shared, err := core.LogLikelihood(p, truth, cfg)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := tlr.CompressorByName(cfg.CompressorName)
+	if err != nil {
+		return nil, err
+	}
+	k := cov.NewKernel(truth)
+	nugget := 1e-9 * truth.Variance
+	rm := cluster.CalibrateRankModel(tol, truth, 1024, nb)
+
+	rep := &DistBenchReport{N: n, NB: nb, Tol: tol, Compressor: cfg.CompressorName, SharedLogLik: shared.Value}
+	for _, g := range []mpi.Grid{{P: 1, Q: 1}, {P: 2, Q: 2}, {P: 2, Q: 3}} {
+		size := g.P * g.Q
+		world := mpi.NewWorld(size)
+		phase := make([]mpi.CommStats, size)
+		var logLik float64
+		start := time.Now()
+		errs := world.Run(func(c *mpi.Comm) error {
+			rank := c.Rank()
+			d := mpi.NewDistTLR(rank, g, p.Points, p.Metric, nb, tol, comp)
+			d.Generate(k, nugget)
+			pre := c.Stats()
+			if err := d.Cholesky(c); err != nil {
+				return err
+			}
+			phase[rank] = c.Stats().Sub(pre)
+			ld := d.LogDet(c)
+			y := append([]float64(nil), p.Z...)
+			d.ForwardSolve(c, y)
+			part := 0.0
+			for i := 0; i < d.MT; i++ {
+				if g.Owner(i, i) == rank {
+					yi := y[i*nb : i*nb+d.TileDim(i)]
+					part += la.Dot(yi, yi)
+				}
+			}
+			quad := c.AllreduceSum(1, part)
+			if rank == 0 {
+				logLik = -0.5*float64(n)*math.Log(2*math.Pi) - 0.5*ld - 0.5*quad
+			}
+			return nil
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("exprt: distributed factorization on %dx%d: %w", g.P, g.Q, err)
+			}
+		}
+		res := DistGridResult{
+			P: g.P, Q: g.Q, Ranks: size,
+			LogLik:     logLik,
+			RelErr:     math.Abs(logLik-shared.Value) / math.Abs(shared.Value),
+			FactorMS:   float64(time.Since(start).Microseconds()) / 1000,
+			WithinTwoX: true,
+		}
+		analytic := cluster.DistCholeskyComm(g, n, nb, rm, false)
+		for r := 0; r < size; r++ {
+			row := DistRankRow{
+				Rank:          r,
+				SentBytes:     phase[r].BytesSent,
+				RecvBytes:     phase[r].BytesRecv,
+				MsgsSent:      phase[r].MsgsSent,
+				AnalyticBytes: analytic[r],
+			}
+			switch {
+			case analytic[r] == 0 && row.SentBytes == 0:
+				row.Ratio = 1
+			case analytic[r] == 0:
+				row.Ratio = math.Inf(1)
+			default:
+				row.Ratio = float64(row.SentBytes) / analytic[r]
+			}
+			if row.Ratio > 2 || row.Ratio < 0.5 {
+				res.WithinTwoX = false
+			}
+			res.PerRank = append(res.PerRank, row)
+		}
+		rep.Grids = append(rep.Grids, res)
+	}
+	return rep, nil
+}
+
+// WriteDistBench runs DistBench and writes the JSON report to path, echoing
+// a summary to o.Out.
+func WriteDistBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep, err := DistBench(o)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "dist bench n=%d nb=%d tol=%g %s  shared loglik %.6f -> %s\n",
+		rep.N, rep.NB, rep.Tol, rep.Compressor, rep.SharedLogLik, path)
+	for _, g := range rep.Grids {
+		var sent int64
+		for _, r := range g.PerRank {
+			sent += r.SentBytes
+		}
+		fmt.Fprintf(o.Out, "  %dx%d (%d ranks)  loglik %.6f  rel err %.2e  factor %8.1fms  sent %8.1fKB  comm model within 2x: %v\n",
+			g.P, g.Q, g.Ranks, g.LogLik, g.RelErr, g.FactorMS, float64(sent)/1024, g.WithinTwoX)
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/cov"
 	"repro/internal/geom"
@@ -18,20 +17,43 @@ type Grid struct {
 // Owner returns the rank owning tile (i, j).
 func (g Grid) Owner(i, j int) int { return (i%g.P)*g.Q + j%g.Q }
 
-// row returns the ranks of process row r (owners of tile rows ≡ r mod P).
-func (g Grid) row(r int) []int {
-	out := make([]int, g.Q)
-	for q := 0; q < g.Q; q++ {
-		out[q] = r*g.Q + q
+// DiagRecipients returns the ranks (other than the owner of (k, k)) that
+// need the factored diagonal tile L_kk: the owners of the panel tiles
+// (i, k), i > k, which apply the triangular solve to their tiles.
+func (g Grid) DiagRecipients(k, mt int) []int {
+	owner := g.Owner(k, k)
+	var out []int
+	for i := k + 1; i < mt; i++ {
+		if r := g.Owner(i, k); r != owner && !contains(out, r) {
+			out = append(out, r)
+		}
 	}
 	return out
 }
 
-// col returns the ranks of process column q.
-func (g Grid) col(q int) []int {
-	out := make([]int, g.P)
-	for p := 0; p < g.P; p++ {
-		out[p] = p*g.Q + q
+// PanelRecipients returns the ranks (other than the owner) that consume the
+// solved panel tile (i, k) during the trailing update of panel k: the owners
+// of tiles (i, j), k < j ≤ i (where it is the left SYRK/GEMM operand) and of
+// tiles (a, i), i < a < mt (where it is the right GEMM operand). Both the
+// dense and the TLR distributed Cholesky send each panel tile to exactly
+// this set, so every message is consumed and mailboxes drain completely —
+// the property that lets one World be reused across many factorizations
+// (core's distributed likelihood evaluator) without stale-message
+// corruption, and it ships strictly fewer bytes than a blanket process
+// row+column broadcast when the trailing submatrix is narrow.
+func (g Grid) PanelRecipients(i, k, mt int) []int {
+	owner := g.Owner(i, k)
+	var out []int
+	add := func(r int) {
+		if r != owner && !contains(out, r) {
+			out = append(out, r)
+		}
+	}
+	for j := k + 1; j <= i; j++ {
+		add(g.Owner(i, j))
+	}
+	for a := i + 1; a < mt; a++ {
+		add(g.Owner(a, i))
 	}
 	return out
 }
@@ -83,37 +105,24 @@ func NewDistFromKernel(rank int, grid Grid, k *cov.Kernel, pts []geom.Point, met
 // Tile returns a locally owned tile (nil if not owned).
 func (m *DistMatrix) Tile(i, j int) *la.Mat { return m.local[tileKey{i, j}] }
 
-// message tags: type | panel | row, packed to stay unique per (kind, i, k).
-func tagOf(kind, i, k, mt int) int { return kind*mt*mt + i*mt + k }
-
-// tag kinds
-const (
-	tagLkk = iota + 1 // factored diagonal tile broadcast
-	tagRow            // panel tile broadcast along its process row
-	tagCol            // panel tile broadcast to its process column
-	tagSum            // reductions
-)
-
 // Cholesky factors the distributed matrix in place on this rank,
 // cooperating with the other ranks of comm. The algorithm is the
-// right-looking variant with the standard 2D broadcasts:
+// right-looking variant with 2D point-to-point panel distribution:
 //
-//   - L_kk goes down process column k mod Q (to the panel owners);
-//   - each solved panel tile A_ik goes along process row i mod P (it is the
-//     left operand of every GEMM in tile row i) and down process column
-//     i mod Q (it is the right operand of every GEMM in tile column i).
+//   - L_kk goes to the owners of the panel tiles (i, k);
+//   - each solved panel tile A_ik goes to the exact set of ranks that use
+//     it in the trailing update (Grid.PanelRecipients).
 //
 // Every rank calls Cholesky; the call returns when the rank's shard holds
 // its tiles of L. A non-SPD pivot is returned as an error on every rank.
 func (m *DistMatrix) Cholesky(c *Comm) error {
 	g := m.Grid
 	mt := m.MT
-	failTag := tagOf(tagSum, mt-1, mt-1, mt) + 1
 	for k := 0; k < mt; k++ {
-		// 1. factor the diagonal tile and share it with the panel column.
+		// 1. factor the diagonal tile and ship it to the panel owners.
 		var lkk *la.Mat
-		colRanks := g.col(k % g.Q)
 		diagOwner := g.Owner(k, k)
+		diagTo := g.DiagRecipients(k, mt)
 		failed := 0.0
 		if c.Rank() == diagOwner {
 			t := m.Tile(k, k)
@@ -121,29 +130,27 @@ func (m *DistMatrix) Cholesky(c *Comm) error {
 				failed = 1
 			}
 			lkk = t
-			c.Bcast(diagOwner, tagOf(tagLkk, k, k, mt), t.Data[:t.Rows*t.Stride], colRanks)
-		} else if contains(colRanks, c.Rank()) {
+			for _, r := range diagTo {
+				c.Send(r, tagOf(kindLkk, k, k), t.Data[:t.Rows*t.Stride])
+			}
+		} else if contains(diagTo, c.Rank()) {
 			d := m.tileDim(k)
-			data := c.Recv(diagOwner, tagOf(tagLkk, k, k, mt))
-			lkk = la.NewMatFrom(d, d, data)
+			lkk = la.NewMatFrom(d, d, c.Recv(diagOwner, tagOf(kindLkk, k, k)))
 		}
 		// agree on failure (the factorization cannot proceed past a bad
 		// pivot; everyone must exit together)
-		if c.AllreduceSum(failTag+2*k, failed) > 0 {
+		if c.AllreduceSum(tagOf(kindFail, k, 0), failed) > 0 {
 			return fmt.Errorf("mpi: matrix not positive definite at panel %d", k)
 		}
 
-		// 2. panel solve + broadcasts.
+		// 2. panel solve + sends to the consumer set.
 		for i := k + 1; i < mt; i++ {
-			owner := g.Owner(i, k)
-			if c.Rank() == owner {
+			if owner := g.Owner(i, k); c.Rank() == owner {
 				t := m.Tile(i, k)
 				la.Trsm(la.Right, la.Lower, la.Transpose, 1, lkk, t)
 				payload := t.Data[:t.Rows*t.Stride]
-				for _, r := range dedup(g.row(i%g.P), g.col(i%g.Q)) {
-					if r != owner {
-						c.Send(r, tagOf(tagRow, i, k, mt), payload)
-					}
+				for _, r := range g.PanelRecipients(i, k, mt) {
+					c.Send(r, tagOf(kindPanel, i, k), payload)
 				}
 			}
 		}
@@ -160,7 +167,7 @@ func (m *DistMatrix) Cholesky(c *Comm) error {
 			if c.Rank() == owner {
 				t = m.Tile(i, k)
 			} else {
-				data := c.Recv(owner, tagOf(tagRow, i, k, mt))
+				data := c.Recv(owner, tagOf(kindPanel, i, k))
 				t = la.NewMatFrom(m.tileDim(i), m.tileDim(k), data)
 			}
 			panel[i] = t
@@ -191,16 +198,15 @@ func (m *DistMatrix) LogDet(c *Comm) float64 {
 			local += la.LogDetFromChol(m.Tile(k, k))
 		}
 	}
-	return c.AllreduceSum(tagOf(tagSum, 0, 0, m.MT)+100000, local)
+	return c.AllreduceSum(tagOf(kindSum, 0, 0), local)
 }
 
 // Gather assembles the full lower-triangular factor on rank 0 (testing and
 // small-problem interop); other ranks return nil.
 func (m *DistMatrix) Gather(c *Comm) *la.Mat {
-	base := tagOf(tagSum, 0, 0, m.MT) + 200000
 	if c.Rank() != 0 {
 		for key, t := range m.local {
-			c.Send(0, base+key.i*m.MT+key.j, t.Data[:t.Rows*t.Stride])
+			c.Send(0, tagOf(kindGather, key.i, key.j), t.Data[:t.Rows*t.Stride])
 		}
 		return nil
 	}
@@ -211,7 +217,7 @@ func (m *DistMatrix) Gather(c *Comm) *la.Mat {
 			if owner := m.Grid.Owner(i, j); owner == 0 {
 				t = m.Tile(i, j)
 			} else {
-				data := c.Recv(owner, base+i*m.MT+j)
+				data := c.Recv(owner, tagOf(kindGather, i, j))
 				t = la.NewMatFrom(m.tileDim(i), m.tileDim(j), data)
 			}
 			for a := 0; a < t.Rows; a++ {
@@ -219,44 +225,6 @@ func (m *DistMatrix) Gather(c *Comm) *la.Mat {
 					out.Set(i*m.NB+a, j*m.NB+b, t.At(a, b))
 				}
 			}
-		}
-	}
-	return out
-}
-
-// RunWorld runs fn once per rank concurrently and waits for completion; any
-// per-rank error is collected.
-func RunWorld(size int, fn func(c *Comm) error) []error {
-	w := NewWorld(size)
-	errs := make([]error, size)
-	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
-		r := r
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[r] = fn(w.At(r))
-		}()
-	}
-	wg.Wait()
-	return errs
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-// dedup merges two rank lists without duplicates.
-func dedup(a, b []int) []int {
-	out := append([]int(nil), a...)
-	for _, v := range b {
-		if !contains(out, v) {
-			out = append(out, v)
 		}
 	}
 	return out

@@ -4,15 +4,19 @@
 // rank boundary is copied through a mailbox, exactly as an MPI program would
 // send it over the wire.
 //
-// The distributed tiled Cholesky in this package (dist_chol.go) is the
-// real-execution counterpart of the cluster package's simulator: the same
-// 2D block-cyclic ownership and panel broadcasts, executed rather than
-// modeled.
+// The distributed tiled Cholesky factorizations in this package (dense in
+// dist_chol.go, TLR in dist_tlr.go) are the real-execution counterparts of
+// the cluster package's simulator: the same 2D block-cyclic ownership and
+// panel broadcasts, executed rather than modeled. Per-rank traffic counters
+// (CommStats) record the bytes each rank actually sends and receives so the
+// analytic communication model can be validated against real message
+// volumes (paperbench -dist).
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // message is one tagged payload in flight.
@@ -26,6 +30,7 @@ type message struct {
 type World struct {
 	size  int
 	boxes []*mailbox
+	stats []commCounters
 }
 
 // mailbox buffers incoming messages for one rank.
@@ -35,12 +40,36 @@ type mailbox struct {
 	pending []message
 }
 
+// commCounters accumulates one rank's cross-rank traffic.
+type commCounters struct {
+	bytesSent, bytesRecv atomic.Int64
+	msgsSent, msgsRecv   atomic.Int64
+}
+
+// CommStats is a snapshot of one rank's cross-rank traffic. Self-deliveries
+// (src == dst) never touch the wire in a real MPI and are not counted.
+type CommStats struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+// Sub returns the traffic accumulated between snapshot prev and s — the
+// idiom for measuring one phase (e.g. factorization only).
+func (s CommStats) Sub(prev CommStats) CommStats {
+	return CommStats{
+		BytesSent: s.BytesSent - prev.BytesSent,
+		BytesRecv: s.BytesRecv - prev.BytesRecv,
+		MsgsSent:  s.MsgsSent - prev.MsgsSent,
+		MsgsRecv:  s.MsgsRecv - prev.MsgsRecv,
+	}
+}
+
 // NewWorld creates a communicator group with the given number of ranks.
 func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size)}
+	w := &World{size: size, boxes: make([]*mailbox, size), stats: make([]commCounters, size)}
 	for i := range w.boxes {
 		mb := &mailbox{}
 		mb.cond = sync.NewCond(&mb.mu)
@@ -51,6 +80,15 @@ func NewWorld(size int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// Stats returns a snapshot of rank's cumulative cross-rank traffic.
+func (w *World) Stats(rank int) CommStats {
+	c := &w.stats[rank]
+	return CommStats{
+		BytesSent: c.bytesSent.Load(), BytesRecv: c.bytesRecv.Load(),
+		MsgsSent: c.msgsSent.Load(), MsgsRecv: c.msgsRecv.Load(),
+	}
+}
 
 // Comm is one rank's endpoint.
 type Comm struct {
@@ -63,6 +101,9 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns a snapshot of this rank's cumulative cross-rank traffic.
+func (c *Comm) Stats() CommStats { return c.world.Stats(c.rank) }
 
 // At returns the endpoint for a rank (each rank goroutine should use only
 // its own endpoint; At exists for test setup).
@@ -82,6 +123,9 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 		c.deliver(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
 		return
 	}
+	st := &c.world.stats[c.rank]
+	st.bytesSent.Add(int64(8 * len(data)))
+	st.msgsSent.Add(1)
 	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
 }
 
@@ -104,6 +148,11 @@ func (c *Comm) Recv(src, tag int) []float64 {
 		for i, m := range mb.pending {
 			if m.src == src && m.tag == tag {
 				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				if src != c.rank {
+					st := &c.world.stats[c.rank]
+					st.bytesRecv.Add(int64(8 * len(m.data)))
+					st.msgsRecv.Add(1)
+				}
 				return m.data
 			}
 		}
@@ -126,7 +175,7 @@ func (c *Comm) Bcast(root, tag int, data []float64, ranks []int) []float64 {
 }
 
 // AllreduceSum sums one value across all ranks (gather to rank 0, then
-// broadcast).
+// broadcast). It uses tag and tag+1; callers must leave both free.
 func (c *Comm) AllreduceSum(tag int, v float64) float64 {
 	if c.rank == 0 {
 		total := v
@@ -142,7 +191,60 @@ func (c *Comm) AllreduceSum(tag int, v float64) float64 {
 	return c.Recv(0, tag+1)[0]
 }
 
+// AllreduceMax computes the maximum of one value across all ranks, with the
+// same tag discipline as AllreduceSum (tag and tag+1 are consumed).
+func (c *Comm) AllreduceMax(tag int, v float64) float64 {
+	if c.rank == 0 {
+		best := v
+		for r := 1; r < c.Size(); r++ {
+			if got := c.Recv(r, tag)[0]; got > best {
+				best = got
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tag+1, []float64{best})
+		}
+		return best
+	}
+	c.Send(0, tag, []float64{v})
+	return c.Recv(0, tag+1)[0]
+}
+
 // Barrier synchronizes all ranks (counter on rank 0).
 func (c *Comm) Barrier(tag int) {
 	c.AllreduceSum(tag, 0)
+}
+
+// Run runs fn once per rank concurrently and waits for completion; per-rank
+// errors are collected by rank index. The World persists across Run calls,
+// so algorithms that drain their mailboxes completely (the Cholesky and
+// solve routines in this package do) can run repeatedly on one World — the
+// reuse pattern core's distributed likelihood evaluator depends on.
+func (w *World) Run(fn func(c *Comm) error) []error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = fn(w.At(r))
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// RunWorld runs fn once per rank of a fresh World and waits for completion.
+func RunWorld(size int, fn func(c *Comm) error) []error {
+	return NewWorld(size).Run(fn)
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

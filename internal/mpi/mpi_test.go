@@ -88,8 +88,19 @@ func TestGridOwnership(t *testing.T) {
 	if len(seen) != 6 {
 		t.Fatalf("not all ranks own tiles: %v", seen)
 	}
-	if len(g.row(1)) != 3 || len(g.col(2)) != 2 {
-		t.Fatal("row/col rank lists wrong")
+	// DiagRecipients(0): owners of column-0 panel tiles (i%2)*3, i=1..5,
+	// minus the diagonal owner 0 → just rank 3.
+	if got := g.DiagRecipients(0, 6); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("DiagRecipients(0,6) = %v, want [3]", got)
+	}
+	for i := 0; i < 6; i++ {
+		for k := 0; k <= i; k++ {
+			for _, r := range g.PanelRecipients(i, k, 6) {
+				if r == g.Owner(i, k) {
+					t.Fatalf("panel (%d,%d) recipient set includes its own owner", i, k)
+				}
+			}
+		}
 	}
 }
 
