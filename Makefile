@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench clean
+.PHONY: build test bench verify kernels tlrbench distbench trace clean
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,13 @@ test:
 	$(GO) test ./...
 
 # verify is the pre-merge gate: vet, a focused uncached race pass over the
-# message-passing and session layers (the rank goroutines, mailboxes and
-# evaluator caches are the point), then the full suite under the race
-# detector (parallel assembly and scheduler paths).
+# message-passing, session and metrics layers (the rank goroutines,
+# mailboxes, evaluator caches and lock-free instruments are the point), then
+# the full suite under the race detector (parallel assembly and scheduler
+# paths).
 verify:
 	$(GO) vet ./...
-	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/...
+	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/... ./internal/obs/...
 	$(GO) test -race ./...
 
 bench:
@@ -32,6 +33,12 @@ tlrbench:
 # across process grids + communication-model validation).
 distbench:
 	$(GO) run ./cmd/paperbench -dist BENCH_dist.json
+
+# trace regenerates the schedule report of the traced dense+TLR Cholesky
+# executions (BENCH_trace.json) plus the Chrome trace artifact
+# (BENCH_trace.trace.json — open in ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/paperbench -trace BENCH_trace.json
 
 clean:
 	$(GO) clean ./...

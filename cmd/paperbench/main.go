@@ -31,6 +31,7 @@ func main() {
 		kernels = flag.String("kernels", "", "run the compute-kernel micro-benchmarks, write the JSON report to this path (e.g. BENCH_kernels.json), and exit")
 		tlrpath = flag.String("tlr", "", "run the parallel TLR assemble+compress benchmark, write the JSON report to this path (e.g. BENCH_tlr.json), and exit")
 		dist    = flag.String("dist", "", "run the distributed TLR benchmark (likelihood agreement + comm-model validation), write the JSON report to this path (e.g. BENCH_dist.json), and exit")
+		trace   = flag.String("trace", "", "run the traced dense+TLR Cholesky executions, write the schedule report to this path (e.g. BENCH_trace.json) plus a Chrome trace artifact (.trace.json) next to it, and exit")
 	)
 	flag.Parse()
 
@@ -46,6 +47,15 @@ func main() {
 	if *tlrpath != "" {
 		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
 		if err := exprt.WriteTLRBench(*tlrpath, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *trace != "" {
+		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+		if err := exprt.WriteTraceBench(*trace, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cov"
 	"repro/internal/la"
@@ -33,6 +34,8 @@ type distEvaluator struct {
 
 	world  *mpi.World
 	shards []*mpi.DistTLR
+
+	epoch time.Time // trace epoch set by Session.EnableTracing
 }
 
 func newDistEvaluator(p *Problem, cfg Config) (*distEvaluator, error) {

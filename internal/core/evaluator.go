@@ -6,9 +6,23 @@ import (
 
 	"repro/internal/cov"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tile"
 	"repro/internal/tlr"
+)
+
+// Cache-reuse counters: each factorize call either reuses the session's
+// cached Σ buffer / task graph (hit) or builds it (miss). Across a Fit the
+// hit:miss ratio should be (evals−1):1 per mode — anything else means the
+// optimizer is silently rebuilding per-problem state every iteration.
+var (
+	cntCacheSigmaHit  = obs.GetCounter("core.cache.sigma.hit")
+	cntCacheSigmaMiss = obs.GetCounter("core.cache.sigma.miss")
+	cntCacheTileHit   = obs.GetCounter("core.cache.tilegraph.hit")
+	cntCacheTileMiss  = obs.GetCounter("core.cache.tilegraph.miss")
+	cntCacheTLRHit    = obs.GetCounter("core.cache.tlrgraph.hit")
+	cntCacheTLRMiss   = obs.GetCounter("core.cache.tlrgraph.miss")
 )
 
 // evaluator caches the per-problem state one likelihood evaluation needs so
@@ -43,6 +57,22 @@ type evaluator struct {
 	tg    *runtime.Graph // fused generate+compress + factorization DAG
 
 	y []float64 // rhs scratch
+
+	// trace switches graph executions to ExecuteTraced; lastTrace keeps the
+	// most recent execution's trace for Session.Metrics. FullBlock has no
+	// task graph, so lastTrace stays nil in that mode.
+	trace     bool
+	lastTrace *runtime.Trace
+}
+
+// run executes a cached task graph, recording a trace when enabled.
+func (e *evaluator) run(g *runtime.Graph) error {
+	if !e.trace {
+		return g.Execute(runtime.ExecOptions{Workers: e.cfg.Workers})
+	}
+	tr, err := g.ExecuteTraced(runtime.ExecOptions{Workers: e.cfg.Workers})
+	e.lastTrace = tr
+	return err
 }
 
 func newEvaluator(p *Problem, cfg Config) *evaluator {
@@ -57,6 +87,9 @@ func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
 	case FullBlock:
 		if e.sigma == nil {
 			e.sigma = la.NewMat(n, n)
+			cntCacheSigmaMiss.Inc()
+		} else {
+			cntCacheSigmaHit.Inc()
 		}
 		k.MatrixParallel(e.sigma, e.p.Points, e.p.Metric, e.cfg.Workers)
 		cov.AddNugget(e.sigma, nugget)
@@ -69,10 +102,13 @@ func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
 			e.m = tile.NewSym(n, e.cfg.TileSize)
 			e.spec = &tile.GenSpec{Pts: e.p.Points, Metric: e.p.Metric}
 			e.g, _ = tile.BuildGenCholeskyGraph(e.m, e.spec, true)
+			cntCacheTileMiss.Inc()
+		} else {
+			cntCacheTileHit.Inc()
 		}
 		e.spec.K = k
 		e.spec.Nugget = nugget
-		if err := e.g.Execute(runtime.ExecOptions{Workers: e.cfg.Workers}); err != nil {
+		if err := e.run(e.g); err != nil {
 			return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
 		}
 		return tileFactor{m: e.m, workers: e.cfg.Workers}, nil
@@ -85,10 +121,13 @@ func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
 			e.tm = tlr.NewMatrix(n, e.cfg.TileSize, e.cfg.Accuracy)
 			e.tspec = &tlr.GenSpec{Pts: e.p.Points, Metric: e.p.Metric, Comp: comp}
 			e.tg = tlr.BuildGenCholeskyGraph(e.tm, e.tspec, true)
+			cntCacheTLRMiss.Inc()
+		} else {
+			cntCacheTLRHit.Inc()
 		}
 		e.tspec.K = k
 		e.tspec.Nugget = nugget
-		if err := e.tg.Execute(runtime.ExecOptions{Workers: e.cfg.Workers}); err != nil {
+		if err := e.run(e.tg); err != nil {
 			return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
 		}
 		return tlrFactor{m: e.tm}, nil

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// Metrics bundles a session's observability outputs: the process-wide
+// instrument snapshot (kernel invocation counts, compression-rank histogram,
+// cache hit/miss counters), the most recent execution trace, and per-rank
+// communication statistics for distributed sessions.
+type Metrics struct {
+	// Obs is a snapshot of the default instrument registry. Differencing
+	// two snapshots (obs.Snapshot.Sub) isolates one phase; counters of
+	// interest include la.*.calls, tile.dcmg.calls, tlr.compress.calls,
+	// core.cache.*.{hit,miss}, runtime.tasks.*, mpi.{msgs,bytes}.sent, and
+	// the histogram tlr.compress.rank.
+	Obs obs.Snapshot
+	// Trace is the most recent task-graph execution trace (nil until
+	// EnableTracing is called and a graph-backed evaluation runs; always nil
+	// for FullBlock, which has no task graph). For distributed sessions it
+	// is the communication timeline instead — one worker lane per rank,
+	// every cross-rank message an instant event.
+	Trace *runtime.Trace
+	// Comm is the per-rank cumulative traffic (nil for shared-memory
+	// sessions).
+	Comm []mpi.CommStats
+}
+
+// EnableTracing switches the session's graph executions to traced mode.
+// Shared-memory sessions record per-task timings of every subsequent
+// factorization (retrievable via Metrics().Trace, which keeps the most
+// recent one); distributed sessions start a timestamped communication
+// timeline. Call it before the evaluations of interest; tracing adds two
+// time.Now() calls per task and is safe to leave on.
+func (s *Session) EnableTracing() {
+	if s.dev != nil {
+		s.dev.epoch = time.Now()
+		s.dev.world.EnableTrace(s.dev.epoch)
+		return
+	}
+	s.ev.trace = true
+}
+
+// Metrics returns the session's current observability state. The Obs
+// snapshot is process-wide (all sessions share the default registry); Trace
+// and Comm are per-session.
+func (s *Session) Metrics() Metrics {
+	m := Metrics{Obs: obs.Default().Snapshot()}
+	if s.dev != nil {
+		m.Comm = s.CommStats()
+		if s.dev.world.TraceEnabled() {
+			tr := &runtime.Trace{Workers: s.dev.cfg.Ranks}
+			tr.MergeEvents(s.dev.world.TraceEvents(0))
+			tr.Wall = time.Since(s.dev.epoch)
+			m.Trace = tr
+		}
+		return m
+	}
+	m.Trace = s.ev.lastTrace
+	return m
+}

@@ -1,0 +1,149 @@
+package exprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"strings"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/runtime"
+	"repro/internal/tile"
+	"repro/internal/tlr"
+)
+
+// TraceBenchReport is the machine-readable snapshot of `paperbench -trace`
+// (BENCH_trace.json): one traced execution of the dense-tile and TLR
+// generate+factorize DAGs at n=2048, with the schedule quantities the
+// paper's trace figures argue about — critical path vs makespan vs busy
+// time — computed from the recorded events instead of eyeballed from a
+// Gantt chart. The companion .trace.json artifact holds both runs in Chrome
+// trace-event format, loadable in Perfetto (ui.perfetto.dev).
+type TraceBenchReport struct {
+	N       int `json:"n"`
+	NB      int `json:"nb"`
+	NumCPU  int `json:"num_cpu"`
+	Workers int `json:"workers"`
+
+	Rows []TraceBenchRow `json:"rows"`
+}
+
+// TraceBenchRow summarizes one traced DAG execution. CritPathMS ≤ MakespanMS
+// always; MakespanMS / CritPathMS bounds the speedup any schedule could
+// still extract, and Utilization reports how busy the workers actually were.
+type TraceBenchRow struct {
+	Backend     string             `json:"backend"`
+	Tasks       int                `json:"tasks"`
+	WallMS      float64            `json:"wall_ms"`
+	MakespanMS  float64            `json:"makespan_ms"`
+	BusyMS      float64            `json:"busy_ms"`
+	CritPathMS  float64            `json:"crit_path_ms"`
+	Utilization float64            `json:"utilization"`
+	GFlops      float64            `json:"achieved_gflops"`
+	ByKernelMS  map[string]float64 `json:"by_kernel_ms"`
+}
+
+func traceRow(backend string, tr *runtime.Trace) TraceBenchRow {
+	row := TraceBenchRow{
+		Backend:     backend,
+		Tasks:       len(tr.Events),
+		WallMS:      ms(tr.Wall.Seconds()),
+		MakespanMS:  ms(tr.Makespan().Seconds()),
+		BusyMS:      ms(tr.BusyTime().Seconds()),
+		CritPathMS:  ms(tr.CritPath.Seconds()),
+		Utilization: tr.Utilization(),
+		ByKernelMS:  map[string]float64{},
+	}
+	if w := tr.Wall.Seconds(); w > 0 {
+		row.GFlops = tr.TotalFlops() / w / 1e9
+	}
+	for k, d := range tr.ByKernel() {
+		row.ByKernelMS[k] = ms(d.Seconds())
+	}
+	return row
+}
+
+// TraceBench executes the dense-tile and TLR Cholesky pipelines at n=2048
+// with tracing and returns the schedule report plus the named traces for the
+// Chrome artifact.
+func TraceBench(o Options) (*TraceBenchReport, []runtime.NamedTrace, error) {
+	o = o.withDefaults()
+	const (
+		n, nb = 2048, 128
+		tol   = 1e-7
+	)
+	rep := &TraceBenchReport{
+		N: n, NB: nb,
+		NumCPU:  goruntime.NumCPU(),
+		Workers: o.Workers,
+	}
+	k := cov.NewKernel(maternRef())
+	pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
+	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+
+	var named []runtime.NamedTrace
+
+	// Dense tiled: combined dcmg + POTRF/TRSM/SYRK/GEMM DAG.
+	m := tile.NewSym(n, nb)
+	spec := &tile.GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9}
+	g, _ := tile.BuildGenCholeskyGraph(m, spec, true)
+	tr, err := g.ExecuteTraced(runtime.ExecOptions{Workers: o.Workers})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dense trace: %w", err)
+	}
+	rep.Rows = append(rep.Rows, traceRow("dense-tile", tr))
+	named = append(named, runtime.NamedTrace{Name: "dense-tile cholesky", Trace: tr})
+
+	// TLR: fused generate+compress + factorization DAG.
+	shell := tlr.NewMatrix(n, nb, tol)
+	tspec := &tlr.GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: tlr.RSVDCompressor{}}
+	tg := tlr.BuildGenCholeskyGraph(shell, tspec, true)
+	ttr, err := tg.ExecuteTraced(runtime.ExecOptions{Workers: o.Workers})
+	if err != nil {
+		return nil, nil, fmt.Errorf("tlr trace: %w", err)
+	}
+	rep.Rows = append(rep.Rows, traceRow("tlr", ttr))
+	named = append(named, runtime.NamedTrace{Name: "tlr cholesky", Trace: ttr})
+
+	return rep, named, nil
+}
+
+// WriteTraceBench runs TraceBench, writes the JSON report to path and the
+// combined Chrome trace artifact next to it (path with .json replaced by
+// .trace.json), echoing a summary to o.Out.
+func WriteTraceBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep, named, err := TraceBench(o)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	tracePath := strings.TrimSuffix(path, ".json") + ".trace.json"
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := runtime.WriteChromeTraces(tf, named...); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "trace bench n=%d nb=%d workers=%d (%d cpus) -> %s, %s\n",
+		rep.N, rep.NB, rep.Workers, rep.NumCPU, path, tracePath)
+	for _, r := range rep.Rows {
+		fmt.Fprintf(o.Out, "  %-11s %4d tasks  wall %8.1fms  crit-path %8.1fms  makespan %8.1fms  util %5.1f%%  %6.1f GFLOP/s\n",
+			r.Backend, r.Tasks, r.WallMS, r.CritPathMS, r.MakespanMS, 100*r.Utilization, r.GFlops)
+	}
+	return nil
+}

@@ -81,6 +81,7 @@ func Nrm2(x []float64) float64 {
 
 // Gemv computes y = alpha*op(A)*x + beta*y.
 func Gemv(alpha float64, a *Mat, ta Trans, x []float64, beta float64, y []float64) {
+	cntGemv.Inc()
 	ar, ac := opDims(a, ta)
 	if len(x) != ac || len(y) != ar {
 		panic(fmt.Sprintf("la: gemv shape mismatch op(A)=%dx%d x=%d y=%d", ar, ac, len(x), len(y)))
@@ -126,6 +127,7 @@ func opDims(a *Mat, t Trans) (r, c int) {
 // pack.go; small or skinny ones fall back to the naive loops (RefGemm's
 // kernel), where packing overhead would dominate.
 func Gemm(alpha float64, a *Mat, ta Trans, b *Mat, tb Trans, beta float64, c *Mat) {
+	cntGemm.Inc()
 	ar, ac := opDims(a, ta)
 	br, bc := opDims(b, tb)
 	if ac != br || c.Rows != ar || c.Cols != bc {
@@ -155,6 +157,7 @@ func Gemm(alpha float64, a *Mat, ta Trans, b *Mat, tb Trans, beta float64, c *Ma
 // diagonal (triangle-crossing) block is computed into pooled scratch and
 // merged element-wise.
 func Syrk(uplo Uplo, alpha float64, a *Mat, t Trans, beta float64, c *Mat) {
+	cntSyrk.Inc()
 	n, k := opDims(a, t)
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("la: syrk shape mismatch op(A)=%dx%d C=%dx%d", n, k, c.Rows, c.Cols))
@@ -246,6 +249,7 @@ func other(t Trans) Trans {
 // is a stored row, dot-product substitution otherwise) instead of calling a
 // per-element triangle accessor.
 func Trsm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
+	cntTrsm.Inc()
 	if tri.Rows != tri.Cols {
 		panic("la: trsm with non-square triangular factor")
 	}
@@ -364,6 +368,7 @@ func Trsm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
 // accumulate row contributions of T into a scratch row (reused across rows
 // of B) before copying back.
 func Trmm(side Side, uplo Uplo, t Trans, alpha float64, tri *Mat, b *Mat) {
+	cntTrmm.Inc()
 	if tri.Rows != tri.Cols {
 		panic("la: trmm with non-square triangular factor")
 	}

@@ -51,6 +51,7 @@ const potrfBlockSize = 64
 // right-looking blocked algorithm (the LAPACK dpotrf structure). This is the
 // "full-block" MLE baseline of the paper (MKL LAPACK path).
 func Potrf(a *Mat) error {
+	cntPotrf.Inc()
 	if a.Rows != a.Cols {
 		panic("la: potrf on non-square matrix")
 	}

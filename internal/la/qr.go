@@ -10,6 +10,7 @@ import "math"
 // which is ample for the tall-skinny recompression panels (tile-size × rank)
 // that dominate TLR arithmetic.
 func QRThin(a *Mat) (q, r *Mat) {
+	cntQr.Inc()
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	work := a.Clone()

@@ -15,6 +15,7 @@ import (
 // enough for the tile-sized (≤ a few hundred) matrices TLR compression
 // feeds it.
 func SVDThin(a *Mat) (u *Mat, s []float64, v *Mat) {
+	cntSvd.Inc()
 	if a.Rows >= a.Cols {
 		return svdTall(a)
 	}

@@ -31,6 +31,7 @@ type World struct {
 	size  int
 	boxes []*mailbox
 	stats []commCounters
+	trace *commTrace // nil until EnableTrace
 }
 
 // mailbox buffers incoming messages for one rank.
@@ -126,6 +127,9 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	st := &c.world.stats[c.rank]
 	st.bytesSent.Add(int64(8 * len(data)))
 	st.msgsSent.Add(1)
+	cntMsgsSent.Inc()
+	cntBytesSent.Add(int64(8 * len(data)))
+	c.world.logComm(c.rank, dst, true, tag, int64(8*len(data)))
 	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
 }
 
@@ -152,6 +156,7 @@ func (c *Comm) Recv(src, tag int) []float64 {
 					st := &c.world.stats[c.rank]
 					st.bytesRecv.Add(int64(8 * len(m.data)))
 					st.msgsRecv.Add(1)
+					c.world.logComm(c.rank, src, false, tag, int64(8*len(m.data)))
 				}
 				return m.data
 			}

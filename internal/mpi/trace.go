@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// Process-wide communication counters (all worlds). Self-deliveries are not
+// counted, matching CommStats.
+var (
+	cntMsgsSent  = obs.GetCounter("mpi.msgs.sent")
+	cntBytesSent = obs.GetCounter("mpi.bytes.sent")
+)
+
+// CommEvent is one timestamped cross-rank message endpoint (a send or a
+// receive completion) on a traced World.
+type CommEvent struct {
+	Rank  int // the rank the event happened on
+	Peer  int // the other endpoint
+	Send  bool
+	Tag   int
+	Bytes int64
+	At    time.Duration // offset from the trace epoch
+}
+
+// commTrace collects per-rank communication events once enabled.
+type commTrace struct {
+	epoch time.Time
+	mu    []sync.Mutex // one per rank — ranks only ever log their own events
+	evs   [][]CommEvent
+}
+
+// EnableTrace starts recording a timestamped communication timeline against
+// the given epoch. Pass the epoch of a runtime trace (the instant its
+// ExecuteTraced started) to merge both into one timeline; pass time.Now()
+// when the communication timeline stands alone. Enabling while ranks are
+// mid-Run is a data race — call it between Run calls.
+func (w *World) EnableTrace(epoch time.Time) {
+	w.trace = &commTrace{
+		epoch: epoch,
+		mu:    make([]sync.Mutex, w.size),
+		evs:   make([][]CommEvent, w.size),
+	}
+}
+
+// TraceEnabled reports whether the world records a communication timeline.
+func (w *World) TraceEnabled() bool { return w.trace != nil }
+
+func (w *World) logComm(rank, peer int, send bool, tag int, bytes int64) {
+	t := w.trace
+	if t == nil {
+		return
+	}
+	at := time.Since(t.epoch)
+	t.mu[rank].Lock()
+	t.evs[rank] = append(t.evs[rank], CommEvent{Rank: rank, Peer: peer, Send: send, Tag: tag, Bytes: bytes, At: at})
+	t.mu[rank].Unlock()
+}
+
+// CommEvents returns a copy of one rank's recorded communication timeline
+// (nil when tracing is disabled).
+func (w *World) CommEvents(rank int) []CommEvent {
+	t := w.trace
+	if t == nil {
+		return nil
+	}
+	t.mu[rank].Lock()
+	defer t.mu[rank].Unlock()
+	return append([]CommEvent(nil), t.evs[rank]...)
+}
+
+// TraceEvents converts the recorded communication timeline of every rank
+// into zero-duration runtime trace events — one worker lane per rank,
+// offset by lane so rank r lands on worker lane+r. Merge them into a
+// compute trace with Trace.MergeEvents; the Chrome export renders them as
+// instant events.
+func (w *World) TraceEvents(lane int) []runtime.TraceEvent {
+	if w.trace == nil {
+		return nil
+	}
+	var out []runtime.TraceEvent
+	for r := 0; r < w.size; r++ {
+		for _, e := range w.CommEvents(r) {
+			dir := "recv"
+			if e.Send {
+				dir = "send"
+			}
+			out = append(out, runtime.TraceEvent{
+				Task:   fmt.Sprintf("%s r%d<->r%d tag%d", dir, e.Rank, e.Peer, e.Tag),
+				ID:     -1, // not a DAG task; excluded from critical-path weights
+				Worker: lane + r,
+				Start:  e.At,
+				End:    e.At,
+				Bytes:  e.Bytes,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCommTraceRecordsSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.EnableTrace(time.Now())
+	errs := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+			c.Recv(1, 8)
+		} else {
+			c.Recv(0, 7)
+			c.Send(0, 8, []float64{4})
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev0, ev1 := w.CommEvents(0), w.CommEvents(1)
+	if len(ev0) != 2 || len(ev1) != 2 {
+		t.Fatalf("events per rank: %d/%d, want 2/2", len(ev0), len(ev1))
+	}
+	if !ev0[0].Send || ev0[0].Bytes != 24 || ev0[0].Peer != 1 {
+		t.Fatalf("rank 0 first event: %+v", ev0[0])
+	}
+	if ev1[0].Send || ev1[0].Bytes != 24 || ev1[0].Peer != 0 {
+		t.Fatalf("rank 1 first event: %+v", ev1[0])
+	}
+	for _, e := range append(ev0, ev1...) {
+		if e.At < 0 {
+			t.Fatalf("event before the epoch: %+v", e)
+		}
+	}
+
+	evs := w.TraceEvents(4)
+	if len(evs) != 4 {
+		t.Fatalf("trace events: %d, want 4", len(evs))
+	}
+	for _, e := range evs {
+		if e.Worker < 4 || e.Worker > 5 {
+			t.Fatalf("comm lane %d, want 4 or 5", e.Worker)
+		}
+		if e.Start != e.End {
+			t.Fatalf("comm event must be instantaneous: %+v", e)
+		}
+		if e.ID != -1 {
+			t.Fatalf("comm event must not weigh on the critical path: %+v", e)
+		}
+	}
+}
+
+func TestCommTraceDisabledIsFree(t *testing.T) {
+	w := NewWorld(2)
+	if w.TraceEnabled() {
+		t.Fatal("tracing enabled by default")
+	}
+	w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if w.CommEvents(0) != nil || w.TraceEvents(0) != nil {
+		t.Fatal("disabled trace must return nil")
+	}
+}
+
+func TestCommTraceSelfSendNotRecorded(t *testing.T) {
+	w := NewWorld(1)
+	w.EnableTrace(time.Now())
+	w.Run(func(c *Comm) error {
+		c.Send(0, 1, []float64{1})
+		c.Recv(0, 1)
+		return nil
+	})
+	if evs := w.CommEvents(0); len(evs) != 0 {
+		t.Fatalf("self-sends must not be traced: %+v", evs)
+	}
+}

@@ -38,15 +38,21 @@ type Options struct {
 	// coordinate's box width (default 0.1).
 	InitStep float64
 	// Restarts re-initializes the simplex around the incumbent when the
-	// search stalls (default 1 restart).
+	// search stalls — i.e. only after an attempt that ends WITHOUT meeting
+	// the TolX/TolF convergence criteria. An attempt that converges cleanly
+	// never burns a restart (default 1 restart; negative disables).
 	Restarts int
 }
 
 // Result reports the outcome of an optimization run.
 type Result struct {
-	X         []float64
-	F         float64
-	Evals     int
+	X     []float64
+	F     float64
+	Evals int
+	// Converged reports whether the attempt that PRODUCED the returned
+	// minimum met the TolX/TolF criteria — not whether the last attempt
+	// happened to (a restart that runs out of budget after a clean earlier
+	// convergence does not un-converge the answer).
 	Converged bool
 }
 
@@ -127,12 +133,20 @@ func NelderMead(p Problem, x0 []float64, opt Options) (Result, error) {
 
 	for attempt := 0; attempt <= o.Restarts && evals < o.MaxEvals; attempt++ {
 		x, f, conv := simplexRun(p, bestX, o, eval, &evals)
-		if f < bestF {
+		// Converged tracks the attempt that produced the returned minimum:
+		// an attempt that only ties the incumbent still stamps its
+		// convergence (same answer, now within tolerance), but a worse
+		// restart never overwrites the flag of the minimum it did not find.
+		if f < bestF || (f == bestF && conv) {
 			bestF = f
 			copy(bestX, x)
+			converged = conv
 		}
-		converged = conv
-		if conv && attempt > 0 {
+		if conv {
+			// Clean convergence: restarting from the incumbent would spend
+			// the remaining budget re-descending to the answer we already
+			// hold. Restarts exist for stalled attempts (see
+			// Options.Restarts), so stop here.
 			break
 		}
 	}

@@ -5,6 +5,18 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Graph-execution counters: completed counts only tasks whose body returned
+// normally; failed tasks and the successors cancelled by a failure are
+// accounted separately so the drain arithmetic is auditable from metrics.
+var (
+	cntExecRuns       = obs.GetCounter("runtime.exec.runs")
+	cntTasksCompleted = obs.GetCounter("runtime.tasks.completed")
+	cntTasksFailed    = obs.GetCounter("runtime.tasks.failed")
+	cntTasksCancelled = obs.GetCounter("runtime.tasks.cancelled")
 )
 
 // ExecOptions configures real (wall-clock) execution.
@@ -33,6 +45,7 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 		return nil
 	}
 
+	cntExecRuns.Inc()
 	indeg := make([]int, n)
 	ready := &taskHeap{}
 	for i, t := range g.tasks {
@@ -43,16 +56,21 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 	}
 
 	var (
-		mu     sync.Mutex
-		cond   = sync.NewCond(&mu)
-		done   int
-		failed error
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		done    int // tasks whose body returned normally
+		nFailed int // tasks whose body panicked
+		failed  error
 	)
 
 	runOne := func(t *Task) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("runtime: task %q (id %d) panicked: %v", t.Name, t.ID, r)
+				if e, ok := r.(error); ok {
+					err = fmt.Errorf("runtime: task %q (id %d) panicked: %w", t.Name, t.ID, e)
+				} else {
+					err = fmt.Errorf("runtime: task %q (id %d) panicked: %v", t.Name, t.ID, r)
+				}
 			}
 		}()
 		if t.Run != nil {
@@ -89,9 +107,18 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 				}
 
 				mu.Lock()
-				if err != nil && failed == nil {
-					failed = err
-					cond.Broadcast()
+				if err != nil {
+					// Unified error path: EVERY failed task stops here, not
+					// just the first one. A second failure racing in after
+					// `failed` was set must not fall through to the success
+					// bookkeeping below — that would count a failed task as
+					// done and ready the successors of a task whose output
+					// does not exist.
+					if failed == nil {
+						failed = err
+						cond.Broadcast()
+					}
+					nFailed++
 					mu.Unlock()
 					return
 				}
@@ -124,8 +151,13 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 	}
 	wg.Wait()
 
+	cntTasksCompleted.Add(int64(done))
+	cntTasksFailed.Add(int64(nFailed))
 	if failed != nil {
-		return failed
+		cancelled := n - done - nFailed
+		cntTasksCancelled.Add(int64(cancelled))
+		return fmt.Errorf("runtime: aborted after %d of %d tasks completed (%d failed, %d cancelled): %w",
+			done, n, nFailed, cancelled, failed)
 	}
 	if done != n {
 		return fmt.Errorf("runtime: executed %d of %d tasks; dependency cycle or inference bug", done, n)
@@ -188,7 +220,17 @@ func (g *Graph) Simulate(opt SimOptions) float64 {
 	if opt.Barrier {
 		return g.simulateBarrier(workers, cost)
 	}
+	return g.simulateList(workers, cost, nil)
+}
 
+// simulateList is the list-scheduling engine behind Simulate and
+// SimulateTrace; rec, when non-nil, receives every (task, worker, start,
+// finish) placement.
+func (g *Graph) simulateList(workers int, cost CostModel, rec func(t *Task, worker int, start, finish float64)) float64 {
+	n := len(g.tasks)
+	if n == 0 {
+		return 0
+	}
 	readyAt := make([]float64, n) // max finish time of predecessors
 	indeg := make([]int, n)
 	ready := &simHeap{}
@@ -222,6 +264,9 @@ func (g *Graph) Simulate(opt SimOptions) float64 {
 		workerFree[wi] = finish
 		if finish > makespan {
 			makespan = finish
+		}
+		if rec != nil {
+			rec(e.task, wi, start, finish)
 		}
 		scheduled++
 		for _, s := range e.task.successors {

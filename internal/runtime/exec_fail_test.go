@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentFailuresAccounting pins the unified error path: when two
+// tasks fail concurrently, BOTH must take the failure branch — the second
+// must not fall through to the success bookkeeping (which would count a
+// failed task as completed and ready the successors of a task whose output
+// does not exist). The error message carries the audit: 0 completed, 2
+// failed, 2 cancelled.
+func TestConcurrentFailuresAccounting(t *testing.T) {
+	g := NewGraph()
+	ha := g.NewHandle("a", 8, 0)
+	hb := g.NewHandle("b", 8, 0)
+	// Both failing tasks rendezvous mid-run before either panics, so by the
+	// time the second one reaches the error path `failed` is (or is about to
+	// be) set by the first — the exact interleaving the pre-fix code lost.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	fail := func() {
+		barrier.Done()
+		barrier.Wait()
+		panic("boom")
+	}
+	g.AddTask(Task{Name: "failA", Run: fail, Accesses: []Access{{ha, Write}}})
+	g.AddTask(Task{Name: "failB", Run: fail, Accesses: []Access{{hb, Write}}})
+	var succRan atomic.Bool
+	succ := func() { succRan.Store(true) }
+	g.AddTask(Task{Name: "succA", Run: succ, Accesses: []Access{{ha, Read}}})
+	g.AddTask(Task{Name: "succB", Run: succ, Accesses: []Access{{hb, Read}}})
+
+	err := g.Execute(ExecOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("expected error from panicking tasks")
+	}
+	if succRan.Load() {
+		t.Fatal("successor of a failed task ran")
+	}
+	if !strings.Contains(err.Error(), "0 of 4 tasks completed (2 failed, 2 cancelled)") {
+		t.Fatalf("failure accounting wrong: %v", err)
+	}
+}
+
+// TestFailureCancelsSuccessors checks the single-failure drain count: the
+// failed task and its cancelled successor are accounted separately from
+// completed work.
+func TestFailureCancelsSuccessors(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("a", 8, 0)
+	g.AddTask(Task{Name: "boom", Run: func() { panic("x") }, Accesses: []Access{{h, Write}}})
+	var succRan atomic.Bool
+	g.AddTask(Task{Name: "succ", Run: func() { succRan.Store(true) }, Accesses: []Access{{h, Read}}})
+
+	err := g.Execute(ExecOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if succRan.Load() {
+		t.Fatal("successor of the failed task ran")
+	}
+	if !strings.Contains(err.Error(), "0 of 2 tasks completed (1 failed, 1 cancelled)") {
+		t.Fatalf("failure accounting wrong: %v", err)
+	}
+}
+
+// TestPanicErrorIsWrapped checks that a task panicking with an error value
+// stays inspectable through the executor's wrapping.
+func TestPanicErrorIsWrapped(t *testing.T) {
+	sentinel := errors.New("tile is singular")
+	g := NewGraph()
+	h := g.NewHandle("a", 8, 0)
+	g.AddTask(Task{Name: "potrf", Run: func() { panic(sentinel) }, Accesses: []Access{{h, Write}}})
+	err := g.Execute(ExecOptions{Workers: 1})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is lost the panic value: %v", err)
+	}
+}

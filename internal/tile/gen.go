@@ -8,8 +8,13 @@ package tile
 import (
 	"repro/internal/cov"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
+
+// cntDcmg counts executed covariance-generation tasks — compare against the
+// tile count to see how much regeneration the optimizer's θ sweep performed.
+var cntDcmg = obs.GetCounter("tile.dcmg.calls")
 
 // GenSpec carries the inputs of covariance generation. The dcmg task
 // closures read the fields when they RUN, not when the graph is built:
@@ -44,6 +49,7 @@ func AddGenTasks(g *runtime.Graph, m *SymMatrix, spec *GenSpec, hs [][]*runtime.
 			if bind {
 				dst := m.Tile(i, j)
 				run = func() {
+					cntDcmg.Inc()
 					ri := spec.Pts[i*m.NB : i*m.NB+m.TileDim(i)]
 					rj := spec.Pts[j*m.NB : j*m.NB+m.TileDim(j)]
 					spec.K.Block(dst, ri, rj, spec.Metric)

@@ -1,0 +1,109 @@
+package tile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestCholeskyChromeTraceGolden executes a small tiled Cholesky DAG with
+// tracing and validates the exported Chrome trace-event JSON against the
+// golden structure: one complete ("X") event per task, kernel-name counts
+// matching the DAG exactly (POTRF/TRSM/SYRK/GEMM for MT=4), metadata rows
+// for the process and every worker lane, flop annotations agreeing with the
+// closed-form per-kernel costs, and the envelope Perfetto expects.
+func TestCholeskyChromeTraceGolden(t *testing.T) {
+	const n, nb, workers = 16, 4, 2
+	a := spd(n, 5)
+	m := FromDense(a, nb)
+	g, _ := BuildCholeskyGraph(m, true)
+
+	wantByKernel := g.CountByName()
+	// MT = 4 right-looking Cholesky: sum_k [1 potrf + (MT-1-k) trsm +
+	// (MT-1-k) syrk + C(MT-1-k, 2) gemm]
+	golden := map[string]int{"potrf": 4, "trsm": 6, "syrk": 6, "gemm": 4}
+	for k, w := range golden {
+		if wantByKernel[k] != w {
+			t.Fatalf("DAG kernel count %s = %d, want %d", k, wantByKernel[k], w)
+		}
+	}
+
+	tr, err := g.ExecuteTraced(runtime.ExecOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, "cholesky n=16 nb=4"); err != nil {
+		t.Fatal(err)
+	}
+
+	var file struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TsUS  float64        `json:"ts"`
+			DurUS float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want \"ms\"", file.DisplayTimeUnit)
+	}
+
+	gotByKernel := map[string]int{}
+	meta := map[string]int{}
+	wall := float64(tr.Wall.Microseconds())
+	for _, e := range file.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta[e.Name]++
+		case "X":
+			gotByKernel[e.Name]++
+			if e.Cat != "task" {
+				t.Fatalf("task event category %q", e.Cat)
+			}
+			if e.TsUS < 0 || e.TsUS+e.DurUS > wall+1 {
+				t.Fatalf("event outside [0, wall]: %+v (wall %g µs)", e, wall)
+			}
+			if e.TID < 0 || e.TID >= workers {
+				t.Fatalf("worker lane %d out of range", e.TID)
+			}
+			flops, ok := e.Args["flops"].(float64)
+			if !ok || flops <= 0 {
+				t.Fatalf("event %s missing flop annotation: %v", e.Name, e.Args)
+			}
+			switch e.Name {
+			case "potrf":
+				if flops != FlopsPOTRF(nb) {
+					t.Fatalf("potrf flops %g, want %g", flops, FlopsPOTRF(nb))
+				}
+			case "gemm":
+				if flops != FlopsGEMM(nb, nb, nb) {
+					t.Fatalf("gemm flops %g, want %g", flops, FlopsGEMM(nb, nb, nb))
+				}
+			}
+			if b, ok := e.Args["bytes"].(float64); !ok || b <= 0 {
+				t.Fatalf("event %s missing byte annotation: %v", e.Name, e.Args)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	for k, w := range golden {
+		if gotByKernel[k] != w {
+			t.Fatalf("trace kernel count %s = %d, want %d (all: %v)", k, gotByKernel[k], w, gotByKernel)
+		}
+	}
+	if meta["process_name"] != 1 || meta["thread_name"] != workers {
+		t.Fatalf("metadata rows: %v", meta)
+	}
+}

@@ -14,8 +14,14 @@ import (
 	"math"
 
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// cntRecompress counts QR+SVD recompressions — the TLR update path's
+// dominant overhead, proportional to the SYRK/GEMM traffic of the
+// factorization rather than the tile count.
+var cntRecompress = obs.GetCounter("tlr.recompress.calls")
 
 // CompTile is a rank-k tile A ≈ U·Vᵀ with U (rows×k) and V (cols×k).
 type CompTile struct {
@@ -389,6 +395,7 @@ func Recompress(c *CompTile, tol float64) *CompTile {
 	if c.Rank() == 0 {
 		return c
 	}
+	cntRecompress.Inc()
 	qu, ru := la.QRThin(c.U)
 	qv, rv := la.QRThin(c.V)
 	core := la.NewMat(ru.Rows, rv.Rows)

@@ -12,8 +12,19 @@ import (
 	"repro/internal/cov"
 	"repro/internal/geom"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tile"
+)
+
+// Compression metrics: histCompRank is the distribution of accepted tile
+// ranks — the quantity the paper's accuracy/memory trade-off figures plot.
+// Read it as obs.Default().Snapshot().Histograms["tlr.compress.rank"]; its
+// Max is the largest rank any tile needed at the session's tolerance.
+var (
+	cntDcmgTLR   = obs.GetCounter("tlr.dcmg.calls")
+	cntCompress  = obs.GetCounter("tlr.compress.calls")
+	histCompRank = obs.GetHistogram("tlr.compress.rank")
 )
 
 // GenSpec carries the inputs of TLR covariance generation. The task closures
@@ -72,6 +83,7 @@ func AddGenTasks(g *runtime.Graph, m *Matrix, spec *GenSpec, dh []*runtime.Handl
 		var runD func()
 		if bind {
 			runD = func() {
+				cntDcmgTLR.Inc()
 				di := m.TileDim(i)
 				d := m.diag[i]
 				if d == nil {
@@ -106,6 +118,8 @@ func AddGenTasks(g *runtime.Graph, m *Matrix, spec *GenSpec, dh []*runtime.Handl
 					rj := spec.Pts[j*m.NB : j*m.NB+dj]
 					spec.K.Block(dense, ri, rj, spec.Metric)
 					t := forTile(spec.Comp, i, j).Compress(dense, m.Tol)
+					cntCompress.Inc()
+					histCompRank.Observe(int64(t.Rank()))
 					spec.scratch.Put(buf)
 					m.off[i][j] = t
 					oh[i][j].SetBytes(t.Bytes())
