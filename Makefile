@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench trace clean
+.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,17 @@ distbench:
 # (BENCH_trace.trace.json — open in ui.perfetto.dev).
 trace:
 	$(GO) run ./cmd/paperbench -trace BENCH_trace.json
+
+# chaos runs the fault-tolerance suite under the race detector: seeded
+# chaos-injection determinism, task retry/replay, rank-failure recovery and
+# the nugget-escalation / dense-fallback degradation paths.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Retry|Fault|NuggetEscalation|Detile|DenseTile|MaxRank|CappedCholesky|ForceMiss|RankPanic|CleanError|SendDrop|SendDelay|RecvTimeout|Simulate' ./internal/chaos/... ./internal/runtime/... ./internal/mpi/... ./internal/tlr/... ./internal/core/...
+
+# chaosbench regenerates the fault-tolerance snapshot (retry overhead +
+# chaos-injected recovery on the n=1600 TLR Cholesky).
+chaosbench:
+	$(GO) run ./cmd/paperbench -chaos BENCH_chaos.json
 
 clean:
 	$(GO) clean ./...

@@ -298,12 +298,16 @@ func BenchmarkAblationScheduling(b *testing.B) {
 	g, _ := tile.BuildCholeskyGraph(sym, false)
 	b.Run("async", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g.Simulate(runtime.SimOptions{Workers: 16})
+			if _, err := g.Simulate(runtime.SimOptions{Workers: 16}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("barrier", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g.Simulate(runtime.SimOptions{Workers: 16, Barrier: true})
+			if _, err := g.Simulate(runtime.SimOptions{Workers: 16, Barrier: true}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

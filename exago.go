@@ -20,6 +20,7 @@
 package exago
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cov"
@@ -96,6 +97,17 @@ type (
 	FitResult  = core.FitResult
 	LikResult  = core.LikResult
 )
+
+// FaultPlan describes a deterministic, seeded set of faults to inject into a
+// Session via Config.Chaos: task panics and stragglers (healed by the
+// runtime's snapshot/replay), dropped and delayed messages (healed by
+// retransmission), forced compression-tolerance misses (degraded to exact
+// dense tiles), and a rank kill (surfaced as a bounded-time error). Paired
+// with Config.MaxRetries; see Session.ChaosStats for what actually fired.
+type FaultPlan = chaos.FaultPlan
+
+// ChaosStats counts the faults an injector delivered.
+type ChaosStats = chaos.Stats
 
 // Synthetic is a generated dataset with held-out validation points.
 type Synthetic = core.Synthetic

@@ -19,7 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cov"
 	"repro/internal/geom"
 	"repro/internal/tlr"
@@ -75,6 +77,24 @@ type Config struct {
 	// Grid optionally fixes the process-grid shape {P, Q} of the distributed
 	// backend; P·Q must equal Ranks. Leave zero for the most square grid.
 	Grid [2]int
+	// MaxRetries is the number of times a failed task execution is replayed
+	// after its inputs are restored from snapshots (0 = no retry). Failures
+	// that are deterministic — a non-positive-definite pivot — are never
+	// retried; those go through the nugget-escalation path instead.
+	MaxRetries int
+	// NuggetEscalation is the factor the nugget is multiplied by after a
+	// Cholesky breakdown before the factorization is retried (0 = default 10;
+	// values in (0, 1] are rejected — escalation must grow the nugget).
+	NuggetEscalation float64
+	// RecvTimeout bounds how long a distributed rank blocks waiting for one
+	// message (0 = wait forever). With fault injection enabled a timeout
+	// turns a lost message into a diagnosed error instead of a hang.
+	RecvTimeout time.Duration
+	// Chaos, when non-nil, injects the plan's deterministic faults into the
+	// session's executions — task panics/stragglers, message drops/delays,
+	// forced compression misses, rank kills. Nil (the default) injects
+	// nothing and pays a single nil check per hook site.
+	Chaos *chaos.FaultPlan
 }
 
 // DefaultConfig returns the library defaults spelled out: dense full-block
@@ -91,6 +111,9 @@ func DefaultConfig() Config {
 		Workers:        1,
 		Nugget:         0,
 		Ranks:          1,
+
+		MaxRetries:       0,
+		NuggetEscalation: 10,
 	}
 }
 
@@ -137,6 +160,23 @@ func (c Config) Validate() error {
 	if ranks > 1 && c.Mode != TLR {
 		return fmt.Errorf("core: distributed execution (Ranks=%d) requires Mode=TLR, got %v", ranks, c.Mode)
 	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("core: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.NuggetEscalation < 0 {
+		return fmt.Errorf("core: negative NuggetEscalation %g", c.NuggetEscalation)
+	}
+	if c.NuggetEscalation > 0 && c.NuggetEscalation <= 1 {
+		return fmt.Errorf("core: NuggetEscalation %g must exceed 1", c.NuggetEscalation)
+	}
+	if c.RecvTimeout < 0 {
+		return fmt.Errorf("core: negative RecvTimeout %v", c.RecvTimeout)
+	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return fmt.Errorf("core: Chaos: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -171,6 +211,9 @@ func (c Config) normalized() Config {
 			}
 		}
 		c.Grid = [2]int{p, c.Ranks / p}
+	}
+	if c.NuggetEscalation == 0 {
+		c.NuggetEscalation = 10
 	}
 	return c
 }
@@ -225,6 +268,11 @@ type LikResult struct {
 	// MaxRank/MeanRank describe the TLR compression (zero for dense modes).
 	MaxRank  int
 	MeanRank float64
+	// NuggetUsed is the diagonal nugget the successful factorization ran
+	// with; NuggetRetries counts how many escalations it took to get there
+	// (0 = the configured nugget worked first try).
+	NuggetUsed    float64
+	NuggetRetries int
 }
 
 // LogLikelihood evaluates ℓ(θ) for the problem under cfg — the convenience

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cov"
 	"repro/internal/la"
 	"repro/internal/mpi"
@@ -31,52 +33,103 @@ type distEvaluator struct {
 	cfg  Config
 	grid mpi.Grid
 	comp tlr.Compressor
+	inj  *chaos.Injector // nil unless Config.Chaos is set
 
 	world  *mpi.World
 	shards []*mpi.DistTLR
 
+	// Graceful-degradation bookkeeping, mirroring evaluator's.
+	lastNugget        float64
+	lastRetries       int
+	factorFails       int64
+	nuggetEscalations int64
+	lastFailure       string
+
 	epoch time.Time // trace epoch set by Session.EnableTracing
 }
 
-func newDistEvaluator(p *Problem, cfg Config) (*distEvaluator, error) {
+func newDistEvaluator(p *Problem, cfg Config, inj *chaos.Injector) (*distEvaluator, error) {
 	comp, err := tlr.CompressorByName(cfg.CompressorName)
 	if err != nil {
 		return nil, err
+	}
+	w := mpi.NewWorld(cfg.Ranks)
+	if cfg.RecvTimeout > 0 {
+		w.SetRecvTimeout(cfg.RecvTimeout)
+	}
+	if inj != nil {
+		w.SetMsgHook(func(src, dst, tag int, bytes int64, attempt int) mpi.MsgFault {
+			drop, delay := inj.MessageFault(src, dst, tag, attempt)
+			switch {
+			case drop:
+				return mpi.MsgFault{Verdict: mpi.MsgDrop}
+			case delay > 0:
+				return mpi.MsgFault{Verdict: mpi.MsgDelay, Delay: delay}
+			}
+			return mpi.MsgFault{Verdict: mpi.MsgDeliver}
+		})
 	}
 	return &distEvaluator{
 		p:    p,
 		cfg:  cfg,
 		grid: mpi.Grid{P: cfg.Grid[0], Q: cfg.Grid[1]},
 		comp: comp,
+		inj:  inj,
 
-		world:  mpi.NewWorld(cfg.Ranks),
+		world:  w,
 		shards: make([]*mpi.DistTLR, cfg.Ranks),
 	}, nil
 }
 
 // withFactored regenerates the shards for kernel k, factors them with the
 // distributed TLR Cholesky, and runs fn on every rank against its factored
-// shard. The first rank error (they agree on factorization failures) is
-// returned.
+// shard. A Cholesky breakdown — which the SPD-agreement allreduce makes every
+// rank observe identically — escalates the nugget and re-runs the whole
+// world, matching the shared-memory ladder; regeneration rebuilds every tile
+// from scratch, so the retry starts clean. The first rank error of a
+// non-recoverable run is returned.
 func (e *distEvaluator) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi.Comm, d *mpi.DistTLR) error) error {
-	errs := e.world.Run(func(c *mpi.Comm) error {
-		d := e.shards[c.Rank()]
-		if d == nil {
-			d = mpi.NewDistTLR(c.Rank(), e.grid, e.p.Points, e.p.Metric, e.cfg.TileSize, e.cfg.Accuracy, e.comp)
-			e.shards[c.Rank()] = d
+	cur := nugget
+	for attempt := 0; ; attempt++ {
+		errs := e.world.Run(func(c *mpi.Comm) error {
+			if e.inj != nil {
+				e.inj.RankFault(c.Rank())
+			}
+			d := e.shards[c.Rank()]
+			if d == nil {
+				d = mpi.NewDistTLR(c.Rank(), e.grid, e.p.Points, e.p.Metric, e.cfg.TileSize, e.cfg.Accuracy, e.comp)
+				if e.inj != nil {
+					d.ForceMiss = e.inj.CompressMiss
+				}
+				e.shards[c.Rank()] = d
+			}
+			d.Generate(k, cur)
+			if err := d.Cholesky(c); err != nil {
+				return err
+			}
+			return fn(c, d)
+		})
+		var firstErr error
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
 		}
-		d.Generate(k, nugget)
-		if err := d.Cholesky(c); err != nil {
-			return err
+		if firstErr == nil {
+			e.lastNugget, e.lastRetries = cur, attempt
+			return nil
 		}
-		return fn(c, d)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
+		cntFactorFail.Inc()
+		e.factorFails++
+		e.lastFailure = firstErr.Error()
+		if !errors.Is(firstErr, la.ErrNotPositiveDefinite) || attempt >= maxNuggetEscalations {
+			return firstErr
 		}
+		cur *= e.cfg.NuggetEscalation
+		cntNuggetEscalated.Inc()
+		e.nuggetEscalations++
 	}
-	return nil
 }
 
 // evalParts runs one distributed likelihood evaluation: factor, log|Σ| via
@@ -90,9 +143,14 @@ func (e *distEvaluator) evalParts(k *cov.Kernel, nugget float64) (logDet, quad f
 	}
 	out := make([]parts, e.cfg.Ranks)
 	err = e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
-		ld := d.LogDet(c)
+		ld, err := d.LogDet(c)
+		if err != nil {
+			return err
+		}
 		y := append([]float64(nil), e.p.Z...)
-		d.ForwardSolve(c, y)
+		if err := d.ForwardSolve(c, y); err != nil {
+			return err
+		}
 		// per-rank partial ‖y‖² over owned diagonal blocks: every element
 		// counted exactly once, combined with one AllreduceSum
 		var part float64
@@ -102,12 +160,27 @@ func (e *distEvaluator) evalParts(k *cov.Kernel, nugget float64) (logDet, quad f
 				part += la.Dot(yi, yi)
 			}
 		}
-		quad := c.AllreduceSum(distTagQuad, part)
-		bytes := c.AllreduceSum(distTagBytes, float64(d.Bytes()))
+		quad, err := c.AllreduceSum(distTagQuad, part)
+		if err != nil {
+			return err
+		}
+		bytes, err := c.AllreduceSum(distTagBytes, float64(d.Bytes()))
+		if err != nil {
+			return err
+		}
 		maxR, sumR, cntR := d.LocalRankStats()
-		maxRank := c.AllreduceMax(distTagMaxRank, float64(maxR))
-		rankSum := c.AllreduceSum(distTagRankSum, float64(sumR))
-		rankCnt := c.AllreduceSum(distTagRankCnt, float64(cntR))
+		maxRank, err := c.AllreduceMax(distTagMaxRank, float64(maxR))
+		if err != nil {
+			return err
+		}
+		rankSum, err := c.AllreduceSum(distTagRankSum, float64(sumR))
+		if err != nil {
+			return err
+		}
+		rankCnt, err := c.AllreduceSum(distTagRankCnt, float64(cntR))
+		if err != nil {
+			return err
+		}
 		out[c.Rank()] = parts{
 			logDet: ld, quad: quad, bytes: bytes,
 			maxRank: maxRank, rankSum: rankSum, rankCnt: rankCnt,
@@ -122,6 +195,7 @@ func (e *distEvaluator) evalParts(k *cov.Kernel, nugget float64) (logDet, quad f
 	if p0.rankCnt > 0 {
 		diag.MeanRank = p0.rankSum / p0.rankCnt
 	}
+	diag.NuggetUsed, diag.NuggetRetries = e.lastNugget, e.lastRetries
 	return p0.logDet, p0.quad, diag, nil
 }
 
@@ -169,7 +243,9 @@ func (e *distEvaluator) solve(k *cov.Kernel, nugget float64, b []float64) error 
 	replicas := make([][]float64, e.cfg.Ranks)
 	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
 		y := append([]float64(nil), b...)
-		d.Solve(c, y)
+		if err := d.Solve(c, y); err != nil {
+			return err
+		}
 		replicas[c.Rank()] = y
 		return nil
 	})
@@ -191,8 +267,12 @@ func (e *distEvaluator) halfSolve(k *cov.Kernel, nugget float64, w *la.Mat, y []
 	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
 		wr := w.Clone()
 		yr := append([]float64(nil), y...)
-		d.ForwardSolveMat(c, wr)
-		d.ForwardSolve(c, yr)
+		if err := d.ForwardSolveMat(c, wr); err != nil {
+			return err
+		}
+		if err := d.ForwardSolve(c, yr); err != nil {
+			return err
+		}
 		replicas[c.Rank()] = res{w: wr, y: yr}
 		return nil
 	})

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/cov"
 	"repro/internal/la"
 	"repro/internal/obs"
@@ -25,6 +27,25 @@ var (
 	cntCacheTLRMiss   = obs.GetCounter("core.cache.tlrgraph.miss")
 )
 
+// Degradation counters: factorization attempts that failed, and how many of
+// those were answered by escalating the nugget rather than giving up.
+var (
+	cntFactorFail      = obs.GetCounter("core.factor.fail")
+	cntNuggetEscalated = obs.GetCounter("core.nugget.escalated")
+)
+
+// maxNuggetEscalations bounds the diagonal-regularization ladder: after this
+// many ×NuggetEscalation steps a breakdown is reported, not papered over.
+const maxNuggetEscalations = 3
+
+// retryableError is the RetryPolicy filter shared by both backends: a
+// non-positive-definite pivot is a property of θ, not of the execution, so
+// replaying the task cannot help — everything else (injected panics, real
+// transients) is worth a restore-and-retry.
+func retryableError(err error) bool {
+	return !errors.Is(err, la.ErrNotPositiveDefinite)
+}
+
 // evaluator caches the per-problem state one likelihood evaluation needs so
 // the optimizer's dozens of evaluations inside Fit / ProfiledFit reuse it
 // instead of reallocating per iteration:
@@ -45,6 +66,15 @@ var (
 type evaluator struct {
 	p   *Problem
 	cfg Config
+	inj *chaos.Injector // nil unless Config.Chaos is set
+
+	// Graceful-degradation bookkeeping (read by Session.Metrics and copied
+	// into LikResult diagnostics).
+	lastNugget        float64
+	lastRetries       int
+	factorFails       int64
+	nuggetEscalations int64
+	lastFailure       string
 
 	sigma *la.Mat // FullBlock Σ / L buffer
 
@@ -65,23 +95,60 @@ type evaluator struct {
 	lastTrace *runtime.Trace
 }
 
-// run executes a cached task graph, recording a trace when enabled.
+// run executes a cached task graph, recording a trace when enabled. The
+// options carry the session's retry policy and (when chaos is armed) the
+// fault-injection hook.
 func (e *evaluator) run(g *runtime.Graph) error {
-	if !e.trace {
-		return g.Execute(runtime.ExecOptions{Workers: e.cfg.Workers})
+	opt := runtime.ExecOptions{
+		Workers: e.cfg.Workers,
+		Retry: runtime.RetryPolicy{
+			Attempts:  e.cfg.MaxRetries,
+			Retryable: retryableError,
+		},
 	}
-	tr, err := g.ExecuteTraced(runtime.ExecOptions{Workers: e.cfg.Workers})
+	if e.inj != nil {
+		opt.Inject = e.inj.TaskHook
+	}
+	if !e.trace {
+		return g.Execute(opt)
+	}
+	tr, err := g.ExecuteTraced(opt)
 	e.lastTrace = tr
 	return err
 }
 
-func newEvaluator(p *Problem, cfg Config) *evaluator {
-	return &evaluator{p: p, cfg: cfg.withDefaults()}
+func newEvaluator(p *Problem, cfg Config, inj *chaos.Injector) *evaluator {
+	return &evaluator{p: p, cfg: cfg.withDefaults(), inj: inj}
 }
 
-// factorize assembles and factors Σ for the given kernel, reusing cached
-// state where the mode allows it.
+// factorize assembles and factors Σ, escalating the nugget geometrically on
+// Cholesky breakdowns: a non-positive-definite pivot retries with the
+// diagonal regularization multiplied by Config.NuggetEscalation, up to
+// maxNuggetEscalations times, before the failure is surfaced. The nugget
+// actually used and the retry count land in the evaluator's diagnostics.
 func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
+	cur := nugget
+	for attempt := 0; ; attempt++ {
+		f, err := e.factorizeOnce(k, cur)
+		if err == nil {
+			e.lastNugget, e.lastRetries = cur, attempt
+			return f, nil
+		}
+		cntFactorFail.Inc()
+		e.factorFails++
+		e.lastFailure = err.Error()
+		if !errors.Is(err, la.ErrNotPositiveDefinite) || attempt >= maxNuggetEscalations {
+			return nil, err
+		}
+		cur *= e.cfg.NuggetEscalation
+		cntNuggetEscalated.Inc()
+		e.nuggetEscalations++
+	}
+}
+
+// factorizeOnce assembles and factors Σ for the given kernel and nugget,
+// reusing cached state where the mode allows it.
+func (e *evaluator) factorizeOnce(k *cov.Kernel, nugget float64) (Factor, error) {
 	n := e.p.N()
 	switch e.cfg.Mode {
 	case FullBlock:
@@ -120,6 +187,9 @@ func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
 			}
 			e.tm = tlr.NewMatrix(n, e.cfg.TileSize, e.cfg.Accuracy)
 			e.tspec = &tlr.GenSpec{Pts: e.p.Points, Metric: e.p.Metric, Comp: comp}
+			if e.inj != nil {
+				e.tspec.ForceMiss = e.inj.CompressMiss
+			}
 			e.tg = tlr.BuildGenCholeskyGraph(e.tm, e.tspec, true)
 			cntCacheTLRMiss.Inc()
 		} else {
@@ -163,6 +233,7 @@ func (e *evaluator) logLikelihood(theta cov.Params) (LikResult, error) {
 	var res LikResult
 	res.Bytes = f.Bytes()
 	res.MaxRank, res.MeanRank = f.RankStats()
+	res.NuggetUsed, res.NuggetRetries = e.lastNugget, e.lastRetries
 	res.LogDet = f.LogDet()
 	res.QuadForm = la.Dot(y, y)
 	n := float64(e.p.N())

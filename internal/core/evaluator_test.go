@@ -22,7 +22,7 @@ func TestEvaluatorReuseMatchesFresh(t *testing.T) {
 		{Mode: FullBlock, Workers: 3},
 		{Mode: FullTile, TileSize: 32, Workers: 3},
 	} {
-		ev := newEvaluator(p, cfg)
+		ev := newEvaluator(p, cfg, nil)
 		for _, th := range thetas {
 			got, err := ev.logLikelihood(th)
 			if err != nil {
@@ -46,7 +46,7 @@ func TestEvaluatorReuseMatchesFresh(t *testing.T) {
 func TestEvaluatorProfiledReuseMatchesFresh(t *testing.T) {
 	p := smallProblem(t, 120, 4)
 	cfg := Config{Mode: FullTile, TileSize: 32, Workers: 2}
-	ev := newEvaluator(p, cfg)
+	ev := newEvaluator(p, cfg, nil)
 	for _, rangeP := range []float64{0.05, 0.2, 0.1} {
 		gotL, gotV, err := ev.profiledLogLikelihood(rangeP, 0.5)
 		if err != nil {
@@ -75,7 +75,7 @@ func TestEvaluatorTLRReuseBitwise(t *testing.T) {
 	}
 	for _, comp := range []string{"svd", "rsvd"} {
 		cfg := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-8, Workers: 3, CompressorName: comp}
-		ev := newEvaluator(p, cfg)
+		ev := newEvaluator(p, cfg, nil)
 		for _, th := range thetas {
 			got, err := ev.logLikelihood(th)
 			if err != nil {
@@ -109,7 +109,7 @@ func TestEvaluatorRecoversAfterFactorizationError(t *testing.T) {
 		{Mode: FullTile, TileSize: 32, Workers: 2},
 		{Mode: TLR, TileSize: 32, Accuracy: 1e-10, Workers: 2},
 	} {
-		ev := newEvaluator(p, cfg)
+		ev := newEvaluator(p, cfg, nil)
 		good := cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5}
 		before, err := ev.logLikelihood(good)
 		if err != nil {

@@ -28,6 +28,14 @@ type Metrics struct {
 	// Comm is the per-rank cumulative traffic (nil for shared-memory
 	// sessions).
 	Comm []mpi.CommStats
+	// FactorFailures counts this session's failed factorization attempts;
+	// NuggetEscalations counts how many were answered by growing the nugget
+	// (see Config.NuggetEscalation). LastFactorFailure is the most recent
+	// failure's message, empty if none — together they say whether a fit
+	// degraded gracefully and why.
+	FactorFailures    int64
+	NuggetEscalations int64
+	LastFactorFailure string
 }
 
 // EnableTracing switches the session's graph executions to traced mode.
@@ -51,6 +59,9 @@ func (s *Session) EnableTracing() {
 func (s *Session) Metrics() Metrics {
 	m := Metrics{Obs: obs.Default().Snapshot()}
 	if s.dev != nil {
+		m.FactorFailures = s.dev.factorFails
+		m.NuggetEscalations = s.dev.nuggetEscalations
+		m.LastFactorFailure = s.dev.lastFailure
 		m.Comm = s.CommStats()
 		if s.dev.world.TraceEnabled() {
 			tr := &runtime.Trace{Workers: s.dev.cfg.Ranks}
@@ -60,6 +71,9 @@ func (s *Session) Metrics() Metrics {
 		}
 		return m
 	}
+	m.FactorFailures = s.ev.factorFails
+	m.NuggetEscalations = s.ev.nuggetEscalations
+	m.LastFactorFailure = s.ev.lastFailure
 	m.Trace = s.ev.lastTrace
 	return m
 }

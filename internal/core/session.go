@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/cov"
 	"repro/internal/geom"
 	"repro/internal/la"
@@ -26,6 +27,8 @@ type Session struct {
 	p   *Problem
 	cfg Config // validated and normalized
 
+	inj *chaos.Injector // nil unless cfg.Chaos is set
+
 	ev  *evaluator     // shared-memory backend (Ranks == 1)
 	dev *distEvaluator // distributed backend (Ranks > 1)
 }
@@ -42,16 +45,28 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 	}
 	cfg = cfg.normalized()
 	s := &Session{p: p, cfg: cfg}
+	if cfg.Chaos != nil {
+		s.inj = chaos.NewInjector(cfg.Chaos)
+	}
 	if cfg.Ranks > 1 {
-		dev, err := newDistEvaluator(p, cfg)
+		dev, err := newDistEvaluator(p, cfg, s.inj)
 		if err != nil {
 			return nil, err
 		}
 		s.dev = dev
 	} else {
-		s.ev = newEvaluator(p, cfg)
+		s.ev = newEvaluator(p, cfg, s.inj)
 	}
 	return s, nil
+}
+
+// ChaosStats reports the faults the session's injector has raised so far
+// (the zero Stats when Config.Chaos is nil).
+func (s *Session) ChaosStats() chaos.Stats {
+	if s.inj == nil {
+		return chaos.Stats{}
+	}
+	return s.inj.Stats()
 }
 
 // Config returns the session's normalized configuration (defaults resolved).

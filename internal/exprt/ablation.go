@@ -142,8 +142,8 @@ func ablationScheduling(o Options) {
 	cost := func(t *runtime.Task) float64 { return t.Flops }
 	tb := stats.NewTable("workers", "async makespan", "barrier makespan", "barrier penalty")
 	for _, w := range []int{4, 16, 64} {
-		async := g.Simulate(runtime.SimOptions{Workers: w, Cost: cost})
-		bsp := g.Simulate(runtime.SimOptions{Workers: w, Cost: cost, Barrier: true})
+		async, _ := g.Simulate(runtime.SimOptions{Workers: w, Cost: cost})
+		bsp, _ := g.Simulate(runtime.SimOptions{Workers: w, Cost: cost, Barrier: true})
 		tb.AddRow(fmt.Sprintf("%d", w), fmt.Sprintf("%.3g", async), fmt.Sprintf("%.3g", bsp),
 			fmt.Sprintf("%.2fx", bsp/async))
 	}
@@ -198,7 +198,10 @@ func ablationDistributed(o Options) error {
 			if err := m.Cholesky(c); err != nil {
 				return err
 			}
-			ld := m.LogDet(c)
+			ld, err := m.LogDet(c)
+			if err != nil {
+				return err
+			}
 			if c.Rank() == 0 {
 				got = ld
 			}

@@ -98,9 +98,14 @@ func DistBench(o Options) (*DistBenchReport, error) {
 				return err
 			}
 			phase[rank] = c.Stats().Sub(pre)
-			ld := d.LogDet(c)
+			ld, err := d.LogDet(c)
+			if err != nil {
+				return err
+			}
 			y := append([]float64(nil), p.Z...)
-			d.ForwardSolve(c, y)
+			if err := d.ForwardSolve(c, y); err != nil {
+				return err
+			}
 			part := 0.0
 			for i := 0; i < d.MT; i++ {
 				if g.Owner(i, i) == rank {
@@ -108,7 +113,10 @@ func DistBench(o Options) (*DistBenchReport, error) {
 					part += la.Dot(yi, yi)
 				}
 			}
-			quad := c.AllreduceSum(1, part)
+			quad, err := c.AllreduceSum(1, part)
+			if err != nil {
+				return err
+			}
 			if rank == 0 {
 				logLik = -0.5*float64(n)*math.Log(2*math.Pi) - 0.5*ld - 0.5*quad
 			}

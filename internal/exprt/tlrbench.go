@@ -127,9 +127,9 @@ func TLRBench(o Options) *TLRBenchReport {
 	shell := tlr.NewMatrix(n, nb, tol)
 	spec := &tlr.GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: comp}
 	g := tlr.BuildGenCholeskyGraph(shell, spec, false)
-	base := g.Simulate(runtime.SimOptions{Workers: 1})
+	base, _ := g.Simulate(runtime.SimOptions{Workers: 1})
 	for _, w := range []int{1, 2, 4, 8} {
-		mk := g.Simulate(runtime.SimOptions{Workers: w})
+		mk, _ := g.Simulate(runtime.SimOptions{Workers: w})
 		rep.Simulated = append(rep.Simulated, TLRSimRow{Workers: w, MakespanSpeedup: base / mk})
 	}
 	return rep

@@ -135,11 +135,19 @@ func (m *DistMatrix) Cholesky(c *Comm) error {
 			}
 		} else if contains(diagTo, c.Rank()) {
 			d := m.tileDim(k)
-			lkk = la.NewMatFrom(d, d, c.Recv(diagOwner, tagOf(kindLkk, k, k)))
+			data, err := c.Recv(diagOwner, tagOf(kindLkk, k, k))
+			if err != nil {
+				return err
+			}
+			lkk = la.NewMatFrom(d, d, data)
 		}
 		// agree on failure (the factorization cannot proceed past a bad
 		// pivot; everyone must exit together)
-		if c.AllreduceSum(tagOf(kindFail, k, 0), failed) > 0 {
+		bad, err := c.AllreduceSum(tagOf(kindFail, k, 0), failed)
+		if err != nil {
+			return err
+		}
+		if bad > 0 {
 			return fmt.Errorf("mpi: matrix not positive definite at panel %d", k)
 		}
 
@@ -158,30 +166,41 @@ func (m *DistMatrix) Cholesky(c *Comm) error {
 		// 3. trailing update: gather the panel tiles this rank needs, then
 		// apply SYRK/GEMM on locally owned tiles.
 		panel := map[int]*la.Mat{}
-		needPanel := func(i int) *la.Mat {
+		needPanel := func(i int) (*la.Mat, error) {
 			if t, ok := panel[i]; ok {
-				return t
+				return t, nil
 			}
 			owner := g.Owner(i, k)
 			var t *la.Mat
 			if c.Rank() == owner {
 				t = m.Tile(i, k)
 			} else {
-				data := c.Recv(owner, tagOf(kindPanel, i, k))
+				data, err := c.Recv(owner, tagOf(kindPanel, i, k))
+				if err != nil {
+					return nil, err
+				}
 				t = la.NewMatFrom(m.tileDim(i), m.tileDim(k), data)
 			}
 			panel[i] = t
-			return t
+			return t, nil
 		}
 		for i := k + 1; i < mt; i++ {
 			for j := k + 1; j <= i; j++ {
 				if g.Owner(i, j) != c.Rank() {
 					continue
 				}
+				pi, err := needPanel(i)
+				if err != nil {
+					return err
+				}
 				if i == j {
-					la.Syrk(la.Lower, -1, needPanel(i), la.NoTrans, 1, m.Tile(i, i))
+					la.Syrk(la.Lower, -1, pi, la.NoTrans, 1, m.Tile(i, i))
 				} else {
-					la.Gemm(-1, needPanel(i), la.NoTrans, needPanel(j), la.Transpose, 1, m.Tile(i, j))
+					pj, err := needPanel(j)
+					if err != nil {
+						return err
+					}
+					la.Gemm(-1, pi, la.NoTrans, pj, la.Transpose, 1, m.Tile(i, j))
 				}
 			}
 		}
@@ -191,7 +210,7 @@ func (m *DistMatrix) Cholesky(c *Comm) error {
 
 // LogDet computes log|A| cooperatively after Cholesky (sum of local diagonal
 // contributions, allreduced).
-func (m *DistMatrix) LogDet(c *Comm) float64 {
+func (m *DistMatrix) LogDet(c *Comm) (float64, error) {
 	var local float64
 	for k := 0; k < m.MT; k++ {
 		if m.Grid.Owner(k, k) == c.Rank() {
@@ -203,12 +222,12 @@ func (m *DistMatrix) LogDet(c *Comm) float64 {
 
 // Gather assembles the full lower-triangular factor on rank 0 (testing and
 // small-problem interop); other ranks return nil.
-func (m *DistMatrix) Gather(c *Comm) *la.Mat {
+func (m *DistMatrix) Gather(c *Comm) (*la.Mat, error) {
 	if c.Rank() != 0 {
 		for key, t := range m.local {
 			c.Send(0, tagOf(kindGather, key.i, key.j), t.Data[:t.Rows*t.Stride])
 		}
-		return nil
+		return nil, nil
 	}
 	out := la.NewMat(m.N, m.N)
 	for i := 0; i < m.MT; i++ {
@@ -217,7 +236,10 @@ func (m *DistMatrix) Gather(c *Comm) *la.Mat {
 			if owner := m.Grid.Owner(i, j); owner == 0 {
 				t = m.Tile(i, j)
 			} else {
-				data := c.Recv(owner, tagOf(kindGather, i, j))
+				data, err := c.Recv(owner, tagOf(kindGather, i, j))
+				if err != nil {
+					return nil, err
+				}
 				t = la.NewMatFrom(m.tileDim(i), m.tileDim(j), data)
 			}
 			for a := 0; a < t.Rows; a++ {
@@ -227,5 +249,5 @@ func (m *DistMatrix) Gather(c *Comm) *la.Mat {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -30,6 +30,14 @@ type DistTLR struct {
 	Metric geom.Metric
 	Comp   tlr.Compressor
 
+	// MaxRank, when positive, caps compressed ranks: a tile exceeding it
+	// (at generation or during trailing updates) falls back to dense (DE)
+	// storage instead of erroring — mirroring tlr.Matrix.MaxRank.
+	MaxRank int
+	// ForceMiss, when non-nil, forces tile (i, j) of the mt×mt tiling to
+	// miss the compression tolerance and store densely (chaos injection).
+	ForceMiss func(mt, i, j int) bool
+
 	diag    map[int]*la.Mat
 	off     map[tileKey]*tlr.CompTile
 	scratch *la.Mat
@@ -104,15 +112,32 @@ func (d *DistTLR) Generate(k *cov.Kernel, nugget float64) {
 			if tc, ok := comp.(tlr.TileCompressor); ok {
 				comp = tc.ForTile(i, j)
 			}
-			d.off[tileKey{i, j}] = comp.Compress(dense, d.Tol)
+			t := comp.Compress(dense, d.Tol)
+			if (d.MaxRank > 0 && t.Rank() > d.MaxRank) ||
+				(d.ForceMiss != nil && d.ForceMiss(d.MT, i, j)) {
+				t = tlr.NewDenseTile(dense.Clone())
+			}
+			d.off[tileKey{i, j}] = t
 		}
 	}
 }
 
 // encodeCompTile packs a compressed tile as [rows, cols, rank, U row-major,
-// V row-major] — the rank-dependent wire format of panel messages.
+// V row-major] — the rank-dependent wire format of panel messages. A dense
+// (DE) tile is marked with the sentinel rank -1 and carries its full
+// row-major payload.
 func encodeCompTile(t *tlr.CompTile) []float64 {
-	rows, cols, k := t.Rows(), t.Cols(), t.Rank()
+	rows, cols := t.Rows(), t.Cols()
+	if t.IsDense() {
+		out := make([]float64, 3+rows*cols)
+		out[0], out[1], out[2] = float64(rows), float64(cols), -1
+		p := 3
+		for a := 0; a < rows; a++ {
+			p += copy(out[p:], t.D.Row(a))
+		}
+		return out
+	}
+	k := t.Rank()
 	out := make([]float64, 3+(rows+cols)*k)
 	out[0], out[1], out[2] = float64(rows), float64(cols), float64(k)
 	p := 3
@@ -128,6 +153,11 @@ func encodeCompTile(t *tlr.CompTile) []float64 {
 // decodeCompTile unpacks an encodeCompTile payload.
 func decodeCompTile(data []float64) *tlr.CompTile {
 	rows, cols, k := int(data[0]), int(data[1]), int(data[2])
+	if k < 0 {
+		d := la.NewMat(rows, cols)
+		copy(d.Data, data[3:3+rows*cols])
+		return tlr.NewDenseTile(d)
+	}
 	u := la.NewMat(rows, k)
 	v := la.NewMat(cols, k)
 	copy(u.Data, data[3:3+rows*k])
@@ -169,9 +199,17 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 			}
 		} else if contains(diagTo, c.Rank()) {
 			dk := d.TileDim(k)
-			lkk = la.NewMatFrom(dk, dk, c.Recv(diagOwner, tagOf(kindLkk, k, k)))
+			data, err := c.Recv(diagOwner, tagOf(kindLkk, k, k))
+			if err != nil {
+				return err
+			}
+			lkk = la.NewMatFrom(dk, dk, data)
 		}
-		if c.AllreduceSum(tagOf(kindFail, k, 0), failed) > 0 {
+		bad, err := c.AllreduceSum(tagOf(kindFail, k, 0), failed)
+		if err != nil {
+			return err
+		}
+		if bad > 0 {
 			return fmt.Errorf("mpi: TLR matrix not positive definite at panel %d: %w", k, la.ErrNotPositiveDefinite)
 		}
 
@@ -187,29 +225,41 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 		}
 
 		panel := map[int]*tlr.CompTile{}
-		needPanel := func(i int) *tlr.CompTile {
+		needPanel := func(i int) (*tlr.CompTile, error) {
 			if t, ok := panel[i]; ok {
-				return t
+				return t, nil
 			}
 			var t *tlr.CompTile
 			if owner := g.Owner(i, k); c.Rank() == owner {
 				t = d.off[tileKey{i, k}]
 			} else {
-				t = decodeCompTile(c.Recv(owner, tagOf(kindPanel, i, k)))
+				data, err := c.Recv(owner, tagOf(kindPanel, i, k))
+				if err != nil {
+					return nil, err
+				}
+				t = decodeCompTile(data)
 			}
 			panel[i] = t
-			return t
+			return t, nil
 		}
 		for i := k + 1; i < mt; i++ {
 			for j := k + 1; j <= i; j++ {
 				if g.Owner(i, j) != c.Rank() {
 					continue
 				}
+				pi, err := needPanel(i)
+				if err != nil {
+					return err
+				}
 				if i == j {
-					tlr.SyrkLD(d.diag[i], needPanel(i))
+					tlr.SyrkLD(d.diag[i], pi)
 				} else {
+					pj, err := needPanel(j)
+					if err != nil {
+						return err
+					}
 					key := tileKey{i, j}
-					d.off[key] = tlr.GemmLL(d.off[key], needPanel(i), needPanel(j), d.Tol)
+					d.off[key] = tlr.GemmLL(d.off[key], pi, pj, d.Tol, d.MaxRank)
 				}
 			}
 		}
@@ -220,7 +270,7 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 // LogDet computes log|A| after Cholesky: each rank sums la.LogDetFromChol
 // over its owned diagonal tiles, one AllreduceSum combines them (the paper's
 // first likelihood term).
-func (d *DistTLR) LogDet(c *Comm) float64 {
+func (d *DistTLR) LogDet(c *Comm) (float64, error) {
 	var local float64
 	for k := 0; k < d.MT; k++ {
 		if d.Grid.Owner(k, k) == c.Rank() {
@@ -240,7 +290,7 @@ func (d *DistTLR) LogDet(c *Comm) float64 {
 // subtracts them in ascending j order — the same order the shared-memory
 // ForwardSolve subtracts them — solves the diagonal block, and broadcasts
 // the solved block to every rank to restore replication.
-func (d *DistTLR) ForwardSolve(c *Comm, b []float64) {
+func (d *DistTLR) ForwardSolve(c *Comm, b []float64) error {
 	if len(b) != d.N {
 		panic("mpi: ForwardSolve length mismatch")
 	}
@@ -268,7 +318,10 @@ func (d *DistTLR) ForwardSolve(c *Comm, b []float64) {
 					tlr.MatVec(d.off[tileKey{i, j}], -1, bj, bi)
 					continue
 				}
-				contrib := c.Recv(owner, tagOf(kindFwd, i, j))
+				contrib, err := c.Recv(owner, tagOf(kindFwd, i, j))
+				if err != nil {
+					return err
+				}
 				for a := range bi {
 					bi[a] += contrib[a]
 				}
@@ -280,16 +333,21 @@ func (d *DistTLR) ForwardSolve(c *Comm, b []float64) {
 				}
 			}
 		} else {
-			copy(bi, c.Recv(diagOwner, tagOf(kindFwdB, i, 0)))
+			data, err := c.Recv(diagOwner, tagOf(kindFwdB, i, 0))
+			if err != nil {
+				return err
+			}
+			copy(bi, data)
 		}
 	}
+	return nil
 }
 
 // BackwardSolve solves Lᵀ·x = b in place against the factored shard, with
 // the same replicated-vector protocol as ForwardSolve. Contributions
 // (L_ji)ᵀ·b_j are subtracted in descending j order, matching the
 // shared-memory BackwardSolve arithmetic.
-func (d *DistTLR) BackwardSolve(c *Comm, b []float64) {
+func (d *DistTLR) BackwardSolve(c *Comm, b []float64) error {
 	if len(b) != d.N {
 		panic("mpi: BackwardSolve length mismatch")
 	}
@@ -316,7 +374,10 @@ func (d *DistTLR) BackwardSolve(c *Comm, b []float64) {
 					tlr.MatVecT(d.off[tileKey{j, i}], -1, bj, bi)
 					continue
 				}
-				contrib := c.Recv(owner, tagOf(kindBwd, j, i))
+				contrib, err := c.Recv(owner, tagOf(kindBwd, j, i))
+				if err != nil {
+					return err
+				}
 				for a := range bi {
 					bi[a] += contrib[a]
 				}
@@ -329,21 +390,28 @@ func (d *DistTLR) BackwardSolve(c *Comm, b []float64) {
 				}
 			}
 		} else {
-			copy(bi, c.Recv(diagOwner, tagOf(kindBwdB, i, 0)))
+			data, err := c.Recv(diagOwner, tagOf(kindBwdB, i, 0))
+			if err != nil {
+				return err
+			}
+			copy(bi, data)
 		}
 	}
+	return nil
 }
 
 // Solve computes A⁻¹·b in place given the distributed TLR Cholesky factors.
-func (d *DistTLR) Solve(c *Comm, b []float64) {
-	d.ForwardSolve(c, b)
-	d.BackwardSolve(c, b)
+func (d *DistTLR) Solve(c *Comm, b []float64) error {
+	if err := d.ForwardSolve(c, b); err != nil {
+		return err
+	}
+	return d.BackwardSolve(c, b)
 }
 
 // ForwardSolveMat solves L·X = B in place for a replicated dense right-hand
 // side (prediction's cross-covariance panels), with the same row-by-row
 // protocol as ForwardSolve.
-func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) {
+func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) error {
 	if b.Rows != d.N {
 		panic("mpi: ForwardSolveMat dimension mismatch")
 	}
@@ -371,7 +439,10 @@ func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) {
 					tlr.MatMul(d.off[tileKey{i, j}], -1, bj, bi)
 					continue
 				}
-				contrib := c.Recv(owner, tagOf(kindFwd, i, j))
+				contrib, err := c.Recv(owner, tagOf(kindFwd, i, j))
+				if err != nil {
+					return err
+				}
 				for a := 0; a < di; a++ {
 					row := bi.Row(a)
 					crow := contrib[a*nc : a*nc+nc]
@@ -391,12 +462,16 @@ func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) {
 				}
 			}
 		} else {
-			data := c.Recv(diagOwner, tagOf(kindFwdB, i, 0))
+			data, err := c.Recv(diagOwner, tagOf(kindFwdB, i, 0))
+			if err != nil {
+				return err
+			}
 			for a := 0; a < di; a++ {
 				copy(bi.Row(a), data[a*nc:a*nc+nc])
 			}
 		}
 	}
+	return nil
 }
 
 // Bytes returns the local shard's storage footprint.

@@ -135,9 +135,15 @@ func TestDistTLRLogDetAndSolveMatchShared(t *testing.T) {
 			if err := d.Cholesky(c); err != nil {
 				return err
 			}
-			logDets[c.Rank()] = d.LogDet(c)
+			ld, err := d.LogDet(c)
+			if err != nil {
+				return err
+			}
+			logDets[c.Rank()] = ld
 			b := append([]float64(nil), rhs...)
-			d.Solve(c, b)
+			if err := d.Solve(c, b); err != nil {
+				return err
+			}
 			sols[c.Rank()] = b
 			return nil
 		})
@@ -189,7 +195,9 @@ func TestDistTLRForwardSolveMatMatchesShared(t *testing.T) {
 			return err
 		}
 		b := rhs.Clone()
-		d.ForwardSolveMat(c, b)
+		if err := d.ForwardSolveMat(c, b); err != nil {
+			return err
+		}
 		got[c.Rank()] = b
 		return nil
 	})
@@ -238,7 +246,11 @@ func TestDistTLRWorldReuse(t *testing.T) {
 			if err := d.Cholesky(c); err != nil {
 				return err
 			}
-			logDets[c.Rank()] = d.LogDet(c)
+			ld, err := d.LogDet(c)
+			if err != nil {
+				return err
+			}
+			logDets[c.Rank()] = ld
 			return nil
 		})
 		for r, err := range errs {
@@ -305,8 +317,8 @@ func TestRunWorldRankCounts(t *testing.T) {
 			if err := d.Cholesky(c); err != nil {
 				return err
 			}
-			d.LogDet(c)
-			return nil
+			_, err := d.LogDet(c)
+			return err
 		})
 		for r, err := range errs {
 			if err != nil {
@@ -356,8 +368,8 @@ func TestCommStatsCountTraffic(t *testing.T) {
 		if err := d.Cholesky(c); err != nil {
 			return err
 		}
-		d.LogDet(c)
-		return nil
+		_, err := d.LogDet(c)
+		return err
 	})
 	if st := w1.Stats(0); st.BytesSent != 0 || st.BytesRecv != 0 {
 		t.Fatalf("single rank should move no bytes, got %+v", st)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // message is one tagged payload in flight.
@@ -25,6 +26,32 @@ type message struct {
 	data     []float64
 }
 
+// MsgVerdict is a fault-injection decision for one message transmission.
+type MsgVerdict int
+
+// Verdicts a MsgHook can return.
+const (
+	MsgDeliver MsgVerdict = iota // deliver untouched
+	MsgDrop                      // lose this transmission (the sender retransmits)
+	MsgDelay                     // deliver after Delay
+)
+
+// MsgFault is the outcome a MsgHook assigns to one transmission.
+type MsgFault struct {
+	Verdict MsgVerdict
+	Delay   time.Duration
+}
+
+// MsgHook intercepts every cross-rank transmission (attempt counts the
+// retransmissions of one logical message). Nil-by-default: the happy path
+// pays one nil check per Send.
+type MsgHook func(src, dst, tag int, bytes int64, attempt int) MsgFault
+
+// maxTransmits bounds Send's retransmit loop under an injected-drop hook: a
+// message dropped on every transmission is genuinely lost and surfaces as a
+// receiver-side timeout instead of an unbounded spin.
+const maxTransmits = 4
+
 // World is a communicator group of size ranks with reliable, ordered,
 // tag-matched delivery.
 type World struct {
@@ -32,6 +59,52 @@ type World struct {
 	boxes []*mailbox
 	stats []commCounters
 	trace *commTrace // nil until EnableTrace
+
+	// hook and recvTimeout are configured before Run (never concurrently
+	// with it); see SetMsgHook / SetRecvTimeout.
+	hook        MsgHook
+	recvTimeout time.Duration
+
+	// Rank-failure poisoning: the first rank to fail (error return or panic
+	// inside Run) records its error and wakes every blocked Recv, which then
+	// returns the failure instead of waiting forever for a message its dead
+	// peer will never send.
+	failMu   sync.Mutex
+	failErr  error
+	poisoned atomic.Bool
+}
+
+// SetMsgHook installs the fault-injection hook for cross-rank messages.
+// Call before Run; a nil hook (the default) costs nothing.
+func (w *World) SetMsgHook(h MsgHook) { w.hook = h }
+
+// SetRecvTimeout bounds every Recv: a rank blocked longer than d returns a
+// timeout error instead of deadlocking. Zero (the default) waits forever.
+// Call before Run.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// Err returns the error that poisoned the world (nil while healthy).
+func (w *World) Err() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
+}
+
+// poison records the first failure and wakes every blocked receiver. Both
+// clean error returns and panics poison: either way the rank stops sending,
+// and any peer blocked on it must unblock with a diagnosis.
+func (w *World) poison(err error) {
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+	w.poisoned.Store(true)
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
 }
 
 // mailbox buffers incoming messages for one rank.
@@ -117,12 +190,31 @@ func (w *World) At(rank int) *Comm {
 
 // Send delivers a copy of data to dst under tag. Sends never block (the
 // mailbox is unbounded), which makes naturally deadlock-free programs out of
-// panel-broadcast algorithms.
+// panel-broadcast algorithms. Under an injected-drop MsgHook the transmission
+// is retried up to maxTransmits times; a message dropped every time is lost
+// and surfaces at the receiver as a deadline error.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst == c.rank {
 		// self-sends are legal and common in broadcast loops
 		c.deliver(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
 		return
+	}
+	if hook := c.world.hook; hook != nil {
+		delivered := false
+		for attempt := 0; attempt < maxTransmits; attempt++ {
+			f := hook(c.rank, dst, tag, int64(8*len(data)), attempt)
+			if f.Verdict == MsgDrop {
+				continue // retransmit
+			}
+			if f.Verdict == MsgDelay && f.Delay > 0 {
+				time.Sleep(f.Delay)
+			}
+			delivered = true
+			break
+		}
+		if !delivered {
+			return
+		}
 	}
 	st := &c.world.stats[c.rank]
 	st.bytesSent.Add(int64(8 * len(data)))
@@ -143,9 +235,23 @@ func (mb *mailbox) put(m message) {
 }
 
 // Recv blocks until a message from src with the given tag arrives and
-// returns its payload.
-func (c *Comm) Recv(src, tag int) []float64 {
+// returns its payload. It fails instead of blocking forever when the world
+// is poisoned by a rank failure or when the world's receive deadline passes.
+// Pending messages are always drained first, even on a poisoned world, so a
+// coordinated protocol whose messages are already in flight (the SPD
+// agreement allreduce) completes before the poison error surfaces.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
 	mb := c.world.boxes[c.rank]
+	var deadline time.Time
+	if d := c.world.recvTimeout; d > 0 {
+		deadline = time.Now().Add(d)
+		t := time.AfterFunc(d, func() {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer t.Stop()
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -158,8 +264,14 @@ func (c *Comm) Recv(src, tag int) []float64 {
 					st.msgsRecv.Add(1)
 					c.world.logComm(c.rank, src, false, tag, int64(8*len(m.data)))
 				}
-				return m.data
+				return m.data, nil
 			}
+		}
+		if c.world.poisoned.Load() {
+			return nil, fmt.Errorf("mpi: rank %d: recv(src %d, tag %d) aborted: %w", c.rank, src, tag, c.world.Err())
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("mpi: rank %d: recv(src %d, tag %d) timed out after %v", c.rank, src, tag, c.world.recvTimeout)
 		}
 		mb.cond.Wait()
 	}
@@ -167,57 +279,74 @@ func (c *Comm) Recv(src, tag int) []float64 {
 
 // Bcast distributes data from root to every rank in ranks (which must
 // include root) and returns the received copy. Non-root callers pass nil.
-func (c *Comm) Bcast(root, tag int, data []float64, ranks []int) []float64 {
+func (c *Comm) Bcast(root, tag int, data []float64, ranks []int) ([]float64, error) {
 	if c.rank == root {
 		for _, r := range ranks {
 			if r != root {
 				c.Send(r, tag, data)
 			}
 		}
-		return data
+		return data, nil
 	}
 	return c.Recv(root, tag)
 }
 
 // AllreduceSum sums one value across all ranks (gather to rank 0, then
 // broadcast). It uses tag and tag+1; callers must leave both free.
-func (c *Comm) AllreduceSum(tag int, v float64) float64 {
+func (c *Comm) AllreduceSum(tag int, v float64) (float64, error) {
 	if c.rank == 0 {
 		total := v
 		for r := 1; r < c.Size(); r++ {
-			total += c.Recv(r, tag)[0]
+			got, err := c.Recv(r, tag)
+			if err != nil {
+				return 0, err
+			}
+			total += got[0]
 		}
 		for r := 1; r < c.Size(); r++ {
 			c.Send(r, tag+1, []float64{total})
 		}
-		return total
+		return total, nil
 	}
 	c.Send(0, tag, []float64{v})
-	return c.Recv(0, tag+1)[0]
+	got, err := c.Recv(0, tag+1)
+	if err != nil {
+		return 0, err
+	}
+	return got[0], nil
 }
 
 // AllreduceMax computes the maximum of one value across all ranks, with the
 // same tag discipline as AllreduceSum (tag and tag+1 are consumed).
-func (c *Comm) AllreduceMax(tag int, v float64) float64 {
+func (c *Comm) AllreduceMax(tag int, v float64) (float64, error) {
 	if c.rank == 0 {
 		best := v
 		for r := 1; r < c.Size(); r++ {
-			if got := c.Recv(r, tag)[0]; got > best {
-				best = got
+			got, err := c.Recv(r, tag)
+			if err != nil {
+				return 0, err
+			}
+			if got[0] > best {
+				best = got[0]
 			}
 		}
 		for r := 1; r < c.Size(); r++ {
 			c.Send(r, tag+1, []float64{best})
 		}
-		return best
+		return best, nil
 	}
 	c.Send(0, tag, []float64{v})
-	return c.Recv(0, tag+1)[0]
+	got, err := c.Recv(0, tag+1)
+	if err != nil {
+		return 0, err
+	}
+	return got[0], nil
 }
 
 // Barrier synchronizes all ranks (counter on rank 0).
-func (c *Comm) Barrier(tag int) {
-	c.AllreduceSum(tag, 0)
+func (c *Comm) Barrier(tag int) error {
+	_, err := c.AllreduceSum(tag, 0)
+	return err
 }
 
 // Run runs fn once per rank concurrently and waits for completion; per-rank
@@ -225,7 +354,25 @@ func (c *Comm) Barrier(tag int) {
 // so algorithms that drain their mailboxes completely (the Cholesky and
 // solve routines in this package do) can run repeatedly on one World — the
 // reuse pattern core's distributed likelihood evaluator depends on.
+//
+// A rank that panics is recovered here and reported as its error ("rank N
+// panicked: ..."); any rank failure — panic or clean error — poisons the
+// world so peers blocked in Recv unblock with a diagnosis instead of
+// deadlocking. A previously poisoned world heals at the next Run: the poison
+// clears and stale in-flight messages from the aborted protocol are dropped,
+// restoring the drained-mailbox reuse contract.
 func (w *World) Run(fn func(c *Comm) error) []error {
+	if w.poisoned.Load() {
+		for _, mb := range w.boxes {
+			mb.mu.Lock()
+			mb.pending = nil
+			mb.mu.Unlock()
+		}
+		w.failMu.Lock()
+		w.failErr = nil
+		w.failMu.Unlock()
+		w.poisoned.Store(false)
+	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
@@ -233,7 +380,22 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[r] = fn(w.At(r))
+			defer func() {
+				if rec := recover(); rec != nil {
+					var err error
+					if e, ok := rec.(error); ok {
+						err = fmt.Errorf("mpi: rank %d panicked: %w", r, e)
+					} else {
+						err = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
+					}
+					errs[r] = err
+					w.poison(err)
+				}
+			}()
+			if err := fn(w.At(r)); err != nil {
+				errs[r] = err
+				w.poison(fmt.Errorf("mpi: rank %d failed: %w", r, err))
+			}
 		}()
 	}
 	wg.Wait()

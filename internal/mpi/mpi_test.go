@@ -18,8 +18,16 @@ func TestSendRecvTagMatching(t *testing.T) {
 		defer close(done)
 		c := w.At(1)
 		// receive out of order: tag 2 first even though tag 1 arrived first
-		b := c.Recv(0, 2)
-		a := c.Recv(0, 1)
+		b, err := c.Recv(0, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := c.Recv(0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		if a[0] != 1 || b[0] != 2 {
 			t.Errorf("tag matching broken: %v %v", a, b)
 		}
@@ -35,7 +43,10 @@ func TestSendCopiesData(t *testing.T) {
 	buf := []float64{42}
 	w.At(0).Send(1, 7, buf)
 	buf[0] = -1
-	got := w.At(1).Recv(0, 7)
+	got, err := w.At(1).Recv(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got[0] != 42 {
 		t.Fatal("send must copy the payload")
 	}
@@ -58,8 +69,14 @@ func TestBcastAndAllreduce(t *testing.T) {
 			if r == 2 {
 				data = []float64{3.5}
 			}
-			bcasts[r] = c.Bcast(2, 9, data, all)
-			sums[r] = c.AllreduceSum(50, float64(r))
+			var err error
+			if bcasts[r], err = c.Bcast(2, 9, data, all); err != nil {
+				t.Error(err)
+				return
+			}
+			if sums[r], err = c.AllreduceSum(50, float64(r)); err != nil {
+				t.Error(err)
+			}
 		}()
 	}
 	wg.Wait()
@@ -141,8 +158,16 @@ func TestDistributedCholeskyMatchesDense(t *testing.T) {
 			if err := m.Cholesky(c); err != nil {
 				return err
 			}
-			logDets[c.Rank()] = m.LogDet(c)
-			if g := m.Gather(c); g != nil {
+			ld, err := m.LogDet(c)
+			if err != nil {
+				return err
+			}
+			logDets[c.Rank()] = ld
+			g, err := m.Gather(c)
+			if err != nil {
+				return err
+			}
+			if g != nil {
 				gathered = g
 			}
 			return nil

@@ -3,6 +3,7 @@ package runtime
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,12 +18,39 @@ var (
 	cntTasksCompleted = obs.GetCounter("runtime.tasks.completed")
 	cntTasksFailed    = obs.GetCounter("runtime.tasks.failed")
 	cntTasksCancelled = obs.GetCounter("runtime.tasks.cancelled")
+	cntTaskRetried    = obs.GetCounter("runtime.task.retried")
+	cntTaskRestored   = obs.GetCounter("runtime.task.restored")
 )
+
+// RetryPolicy bounds task retry/replay: a task whose body panics is restored
+// from the pre-execution snapshots of its ReadWrite handles and re-executed
+// up to Attempts times. Retry requires every ReadWrite handle of the task to
+// carry a SnapshotFn; tasks touching snapshot-less ReadWrite handles fail
+// immediately as without a policy.
+type RetryPolicy struct {
+	// Attempts is the number of re-executions after the first failure
+	// (0 disables retry and with it all snapshot overhead).
+	Attempts int
+	// Backoff is slept between a failure and its replay.
+	Backoff time.Duration
+	// Retryable, when non-nil, filters which errors are worth replaying —
+	// deterministic numerical failures (a non-SPD pivot) recur identically
+	// and should fail fast rather than burn the attempt budget.
+	Retryable func(error) bool
+}
 
 // ExecOptions configures real (wall-clock) execution.
 type ExecOptions struct {
 	// Workers is the number of parallel workers; values < 1 mean 1.
 	Workers int
+	// Retry bounds task retry/replay after panics (zero value = no retry).
+	Retry RetryPolicy
+	// Inject, when non-nil, runs before every task execution attempt inside
+	// the executor's panic-recovery scope — the chaos-injection hook. It
+	// receives the graph length, the task ID and the attempt number; a hook
+	// panic is handled exactly like a task panic (and retried under the
+	// policy), a hook sleep models a straggler.
+	Inject func(graphLen, taskID, attempt int)
 }
 
 // Execute runs every task of the graph on a pool of workers, honoring the
@@ -63,7 +91,7 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 		failed  error
 	)
 
-	runOne := func(t *Task) (err error) {
+	runOne := func(t *Task, attempt int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				if e, ok := r.(error); ok {
@@ -73,10 +101,54 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 				}
 			}
 		}()
+		if opt.Inject != nil {
+			opt.Inject(n, t.ID, attempt)
+		}
 		if t.Run != nil {
 			t.Run()
 		}
 		return nil
+	}
+
+	// runTask executes one task under the retry policy: snapshot the data a
+	// replay must restore, run, and on failure restore and re-execute up to
+	// Retry.Attempts extra times. With Attempts == 0 no snapshot is ever
+	// taken, so the chaos-off hot path pays nothing beyond the branch.
+	runTask := func(w int, t *Task) error {
+		for attempt := 0; ; attempt++ {
+			canRetry := attempt < opt.Retry.Attempts
+			var restore, release func()
+			var restored int
+			if canRetry {
+				restore, release, restored, canRetry = snapshotTask(t)
+			}
+			var t0 time.Time
+			if rec != nil {
+				t0 = time.Now()
+			}
+			err := runOne(t, attempt)
+			if rec != nil {
+				rec.record(w, t, t0, time.Now(), attempt)
+			}
+			if err == nil {
+				if release != nil {
+					release()
+				}
+				return nil
+			}
+			if !canRetry || (opt.Retry.Retryable != nil && !opt.Retry.Retryable(err)) {
+				if release != nil {
+					release()
+				}
+				return err
+			}
+			restore()
+			cntTaskRetried.Inc()
+			cntTaskRestored.Add(int64(restored))
+			if opt.Retry.Backoff > 0 {
+				time.Sleep(opt.Retry.Backoff)
+			}
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -97,14 +169,7 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 				t := heap.Pop(ready).(*Task)
 				mu.Unlock()
 
-				var t0 time.Time
-				if rec != nil {
-					t0 = time.Now()
-				}
-				err := runOne(t)
-				if rec != nil {
-					rec.record(w, t, t0, time.Now())
-				}
+				err := runTask(w, t)
 
 				mu.Lock()
 				if err != nil {
@@ -165,6 +230,47 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 	return nil
 }
 
+// snapshotTask captures the pre-execution state a replay must put back:
+// each ReadWrite handle's payload (via its SnapshotFn) and the Bytes field
+// of every written handle (tasks update it through SetBytes). It returns a
+// restore closure, a release closure (exactly one of the two runs, once),
+// the number of payload snapshots taken (for the restored counter), and
+// whether the task is retryable at all — a ReadWrite handle without a
+// SnapshotFn makes it not, since its pre-state cannot be recovered.
+func snapshotTask(t *Task) (restore, release func(), restored int, ok bool) {
+	var restores, releases []func()
+	for _, a := range t.Accesses {
+		switch a.Mode {
+		case ReadWrite:
+			if a.Handle.SnapshotFn == nil {
+				for _, rel := range releases {
+					rel()
+				}
+				return nil, nil, 0, false
+			}
+			r, rel := a.Handle.SnapshotFn()
+			h, b := a.Handle, a.Handle.Bytes
+			restores = append(restores, func() { r(); h.Bytes = b })
+			releases = append(releases, rel)
+			restored++
+		case Write:
+			h, b := a.Handle, a.Handle.Bytes
+			restores = append(restores, func() { h.Bytes = b })
+		}
+	}
+	restore = func() {
+		for _, r := range restores {
+			r()
+		}
+	}
+	release = func() {
+		for _, rel := range releases {
+			rel()
+		}
+	}
+	return restore, release, restored, true
+}
+
 // taskHeap is a max-heap on task priority (ties broken by insertion order,
 // earlier first, to keep execution close to the sequential flow).
 type taskHeap []*Task
@@ -203,33 +309,106 @@ type SimOptions struct {
 
 // Simulate performs list scheduling of the DAG on Workers homogeneous
 // workers under the given cost model and returns the makespan in seconds.
-// No task bodies run; only the declared costs matter.
-func (g *Graph) Simulate(opt SimOptions) float64 {
+// No task bodies run; only the declared costs matter. A graph whose
+// dependencies form a cycle (impossible via AddTask, but reachable through
+// corrupted state) yields an error naming the tasks on the cycle.
+func (g *Graph) Simulate(opt SimOptions) (float64, error) {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	n := len(g.tasks)
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	cost := opt.Cost
 	if cost == nil {
 		cost = func(t *Task) float64 { return t.Flops }
 	}
 	if opt.Barrier {
-		return g.simulateBarrier(workers, cost)
+		if err := g.cycleError(); err != nil {
+			return 0, err
+		}
+		return g.simulateBarrier(workers, cost), nil
 	}
 	return g.simulateList(workers, cost, nil)
+}
+
+// cycleError reports a diagnostic error naming the tasks on a dependency
+// cycle, or nil for a well-formed DAG. Detection is Kahn's algorithm; the
+// cycle itself is extracted by walking dependencies among the tasks the
+// elimination could not reach.
+func (g *Graph) cycleError() error {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for i, t := range g.tasks {
+		indeg[i] = len(t.deps)
+	}
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for _, s := range g.tasks[id].successors {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if removed == n {
+		return nil
+	}
+	// Every unremoved task has an unremoved dependency, so walking deps
+	// among them must revisit a task within n steps — that revisit closes
+	// the cycle.
+	start := -1
+	for i := 0; i < n; i++ {
+		if indeg[i] > 0 {
+			start = i
+			break
+		}
+	}
+	seenAt := make(map[int]int)
+	var path []int
+	cur := start
+	for {
+		if at, ok := seenAt[cur]; ok {
+			path = append(path[at:], cur)
+			break
+		}
+		seenAt[cur] = len(path)
+		path = append(path, cur)
+		next := -1
+		for _, d := range g.tasks[cur].deps {
+			if indeg[d] > 0 {
+				next = d
+				break
+			}
+		}
+		cur = next
+	}
+	names := make([]string, len(path))
+	for i, id := range path {
+		t := g.tasks[id]
+		names[i] = fmt.Sprintf("%s(id %d)", t.Name, t.ID)
+	}
+	return fmt.Errorf("runtime: dependency cycle: %s", strings.Join(names, " → "))
 }
 
 // simulateList is the list-scheduling engine behind Simulate and
 // SimulateTrace; rec, when non-nil, receives every (task, worker, start,
 // finish) placement.
-func (g *Graph) simulateList(workers int, cost CostModel, rec func(t *Task, worker int, start, finish float64)) float64 {
+func (g *Graph) simulateList(workers int, cost CostModel, rec func(t *Task, worker int, start, finish float64)) (float64, error) {
 	n := len(g.tasks)
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	readyAt := make([]float64, n) // max finish time of predecessors
 	indeg := make([]int, n)
@@ -245,8 +424,8 @@ func (g *Graph) simulateList(workers int, cost CostModel, rec func(t *Task, work
 	scheduled := 0
 	for scheduled < n {
 		if ready.Len() == 0 {
-			// should not happen for a well-formed DAG
-			panic("runtime: simulate deadlock — dependency cycle")
+			// unreachable for AddTask-built graphs; diagnose rather than hang
+			return 0, g.cycleError()
 		}
 		e := heap.Pop(ready).(simEntry)
 		// earliest-available worker
@@ -279,7 +458,7 @@ func (g *Graph) simulateList(workers int, cost CostModel, rec func(t *Task, work
 			}
 		}
 	}
-	return makespan
+	return makespan, nil
 }
 
 // simulateBarrier schedules the DAG one topological level at a time with a

@@ -38,6 +38,17 @@ type Handle struct {
 	Name  string
 	Bytes int64
 	Tag   int64
+
+	// SnapshotFn, when non-nil, captures the payload behind the handle and
+	// returns a restore closure (put the captured state back) and a release
+	// closure (discard the capture, returning any pooled buffers). The
+	// executor's retry path calls exactly one of the two, exactly once per
+	// snapshot. A ReadWrite handle without a SnapshotFn makes its tasks
+	// non-retryable; Write handles need no snapshot because their tasks
+	// fully overwrite the payload on every execution (the replay contract
+	// of the generation tasks). The executor saves and restores
+	// Handle.Bytes itself, so SetBytes-updating tasks replay cleanly.
+	SnapshotFn func() (restore, release func())
 }
 
 // SetBytes updates the payload size of a variable-size handle (a compressed

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sliceSnapshot is the test stand-in for the tile SnapshotFns: it copies the
+// backing slice and restores it on demand.
+func sliceSnapshot(data []float64) func() (restore, release func()) {
+	return func() (restore, release func()) {
+		saved := append([]float64(nil), data...)
+		return func() { copy(data, saved) }, func() {}
+	}
+}
+
+func TestRetryRestoresReadWriteData(t *testing.T) {
+	data := []float64{1, 2, 3}
+	g := NewGraph()
+	h := g.NewHandle("d", 24, 0)
+	h.SnapshotFn = sliceSnapshot(data)
+	g.AddTask(Task{
+		Name: "double",
+		Run: func() {
+			for i := range data {
+				data[i] *= 2
+			}
+		},
+		Accesses: []Access{{Handle: h, Mode: ReadWrite}},
+	})
+
+	before := obs.Default().Snapshot()
+	err := g.Execute(ExecOptions{
+		Workers: 2,
+		Retry:   RetryPolicy{Attempts: 2},
+		Inject: func(graphLen, taskID, attempt int) {
+			if attempt == 0 {
+				panic("injected")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("retry should have recovered the panic: %v", err)
+	}
+	// Without the snapshot restore the doubling task would run twice over
+	// dirty data and yield {4, 8, 12}.
+	if data[0] != 2 || data[1] != 4 || data[2] != 6 {
+		t.Fatalf("replay ran over unrestored data: %v", data)
+	}
+	d := obs.Default().Snapshot().Sub(before)
+	if d.Counters["runtime.task.retried"] < 1 {
+		t.Fatalf("runtime.task.retried not incremented: %v", d.Counters)
+	}
+	if d.Counters["runtime.task.restored"] < 1 {
+		t.Fatalf("runtime.task.restored not incremented: %v", d.Counters)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	runs := 0
+	g := NewGraph()
+	h := g.NewHandle("d", 8, 0)
+	h.SnapshotFn = sliceSnapshot([]float64{0})
+	g.AddTask(Task{
+		Name:     "always-fails",
+		Run:      func() { runs++; panic("boom") },
+		Accesses: []Access{{Handle: h, Mode: ReadWrite}},
+	})
+	err := g.Execute(ExecOptions{Workers: 1, Retry: RetryPolicy{Attempts: 2}})
+	if err == nil {
+		t.Fatal("persistent failure must surface")
+	}
+	if runs != 3 { // initial execution + 2 retries
+		t.Fatalf("task ran %d times, want 3", runs)
+	}
+}
+
+func TestRetryRWWithoutSnapshotIsTerminal(t *testing.T) {
+	runs := 0
+	g := NewGraph()
+	h := g.NewHandle("no-snapshot", 8, 0)
+	g.AddTask(Task{
+		Name:     "fails",
+		Run:      func() { runs++; panic("boom") },
+		Accesses: []Access{{Handle: h, Mode: ReadWrite}},
+	})
+	if err := g.Execute(ExecOptions{Workers: 1, Retry: RetryPolicy{Attempts: 5}}); err == nil {
+		t.Fatal("expected the panic to surface")
+	}
+	if runs != 1 {
+		t.Fatalf("a ReadWrite task without SnapshotFn must not be replayed; ran %d times", runs)
+	}
+}
+
+func TestRetryRespectsRetryableFilter(t *testing.T) {
+	fatal := errors.New("deterministic failure")
+	runs := 0
+	g := NewGraph()
+	h := g.NewHandle("d", 8, 0)
+	h.SnapshotFn = sliceSnapshot([]float64{0})
+	g.AddTask(Task{
+		Name:     "fails",
+		Run:      func() { runs++; panic(fatal) },
+		Accesses: []Access{{Handle: h, Mode: ReadWrite}},
+	})
+	err := g.Execute(ExecOptions{
+		Workers: 1,
+		Retry: RetryPolicy{
+			Attempts:  5,
+			Retryable: func(err error) bool { return !errors.Is(err, fatal) },
+		},
+	})
+	if err == nil || !errors.Is(err, fatal) {
+		t.Fatalf("want the filtered error, got %v", err)
+	}
+	if runs != 1 {
+		t.Fatalf("non-retryable failure replayed %d times", runs)
+	}
+}
+
+func TestRetryWriteHandleReplays(t *testing.T) {
+	// A Write-mode task fully overwrites its payload, so it replays without
+	// any SnapshotFn.
+	out := []float64{0}
+	g := NewGraph()
+	h := g.NewHandle("w", 8, 0)
+	g.AddTask(Task{
+		Name:     "write",
+		Run:      func() { out[0] = 7 },
+		Accesses: []Access{{Handle: h, Mode: Write}},
+	})
+	err := g.Execute(ExecOptions{
+		Workers: 1,
+		Retry:   RetryPolicy{Attempts: 1},
+		Inject: func(graphLen, taskID, attempt int) {
+			if attempt == 0 {
+				panic("injected")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("write task should replay: %v", err)
+	}
+	if out[0] != 7 {
+		t.Fatalf("replay did not produce the write: %v", out)
+	}
+}
+
+func TestTraceRecordsRetryAttempt(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("d", 8, 0)
+	h.SnapshotFn = sliceSnapshot([]float64{0})
+	g.AddTask(Task{
+		Name:     "victim",
+		Run:      func() {},
+		Accesses: []Access{{Handle: h, Mode: ReadWrite}},
+	})
+	tr, err := g.ExecuteTraced(ExecOptions{
+		Workers: 1,
+		Retry:   RetryPolicy{Attempts: 1},
+		Inject: func(graphLen, taskID, attempt int) {
+			if attempt == 0 {
+				panic("injected")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRetry bool
+	for _, e := range tr.Events {
+		if e.Attempt > 0 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("no trace event carries Attempt > 0: %+v", tr.Events)
+	}
+}
+
+func TestSimulateReportsCycle(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle("d", 8, 0)
+	a := g.AddTask(Task{Name: "alpha", Flops: 1, Accesses: []Access{{Handle: h, Mode: ReadWrite}}})
+	b := g.AddTask(Task{Name: "beta", Flops: 1, Accesses: []Access{{Handle: h, Mode: ReadWrite}}})
+	// Sequential task flow cannot build a cycle, so wire one directly:
+	// alpha -> beta already exists; add beta -> alpha.
+	g.tasks[a].deps = append(g.tasks[a].deps, b)
+	g.tasks[b].successors = append(g.tasks[b].successors, a)
+	g.tasks[a].indegree++
+
+	_, err := g.Simulate(SimOptions{Workers: 1})
+	if err == nil {
+		t.Fatal("cyclic graph must error, not deadlock or panic")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "dependency cycle") ||
+		!strings.Contains(msg, "alpha") || !strings.Contains(msg, "beta") {
+		t.Fatalf("cycle error should name the tasks on the cycle: %q", msg)
+	}
+}

@@ -161,11 +161,11 @@ func TestSimulateScalesWithWorkers(t *testing.T) {
 		h := g.NewHandle("v", 8, 0)
 		g.AddTask(Task{Name: "unit", Flops: 1, Accesses: []Access{{h, Write}}})
 	}
-	if got := g.Simulate(SimOptions{Workers: 1}); got != 100 {
-		t.Fatalf("1 worker: %g", got)
+	if got, err := g.Simulate(SimOptions{Workers: 1}); err != nil || got != 100 {
+		t.Fatalf("1 worker: %g (%v)", got, err)
 	}
-	if got := g.Simulate(SimOptions{Workers: 10}); got != 10 {
-		t.Fatalf("10 workers: %g", got)
+	if got, err := g.Simulate(SimOptions{Workers: 10}); err != nil || got != 10 {
+		t.Fatalf("10 workers: %g (%v)", got, err)
 	}
 }
 
@@ -175,8 +175,8 @@ func TestSimulateRespectsChain(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		g.AddTask(Task{Name: "step", Flops: 2, Accesses: []Access{{h, ReadWrite}}})
 	}
-	if got := g.Simulate(SimOptions{Workers: 16}); got != 40 {
-		t.Fatalf("chain makespan %g, want 40", got)
+	if got, err := g.Simulate(SimOptions{Workers: 16}); err != nil || got != 40 {
+		t.Fatalf("chain makespan %g, want 40 (%v)", got, err)
 	}
 }
 
@@ -191,8 +191,14 @@ func TestSimulateBarrierSlower(t *testing.T) {
 	for i := range hs {
 		g.AddTask(Task{Name: "b", Flops: float64(8 - i), Accesses: []Access{{hs[i], ReadWrite}}})
 	}
-	async := g.Simulate(SimOptions{Workers: 3})
-	bsp := g.Simulate(SimOptions{Workers: 3, Barrier: true})
+	async, err := g.Simulate(SimOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp, err := g.Simulate(SimOptions{Workers: 3, Barrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bsp < async {
 		t.Fatalf("barrier schedule faster than async: %g < %g", bsp, async)
 	}
@@ -202,7 +208,10 @@ func TestSimulateCustomCost(t *testing.T) {
 	g := NewGraph()
 	h := g.NewHandle("x", 8, 0)
 	g.AddTask(Task{Name: "k", Flops: 1e9, Accesses: []Access{{h, Write}}})
-	got := g.Simulate(SimOptions{Workers: 1, Cost: func(t *Task) float64 { return t.Flops / 1e9 }})
+	got, err := g.Simulate(SimOptions{Workers: 1, Cost: func(t *Task) float64 { return t.Flops / 1e9 }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != 1 {
 		t.Fatalf("cost model ignored: %g", got)
 	}

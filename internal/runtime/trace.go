@@ -24,6 +24,9 @@ type TraceEvent struct {
 	// handles, read after execution so rank-dependent SetBytes updates are
 	// reflected).
 	Bytes int64
+	// Attempt is the execution attempt this event records (0 for the first
+	// try; > 0 marks a retry/replay under the executor's RetryPolicy).
+	Attempt int
 }
 
 // Duration returns the event's elapsed time.
@@ -100,19 +103,20 @@ type recorder struct {
 	events [][]TraceEvent
 }
 
-func (r *recorder) record(worker int, t *Task, start, end time.Time) {
+func (r *recorder) record(worker int, t *Task, start, end time.Time, attempt int) {
 	var bytes int64
 	for _, a := range t.Accesses {
 		bytes += a.Handle.Bytes
 	}
 	r.events[worker] = append(r.events[worker], TraceEvent{
-		Task:   t.Name,
-		ID:     t.ID,
-		Worker: worker,
-		Start:  start.Sub(r.base),
-		End:    end.Sub(r.base),
-		Flops:  t.Flops,
-		Bytes:  bytes,
+		Task:    t.Name,
+		ID:      t.ID,
+		Worker:  worker,
+		Start:   start.Sub(r.base),
+		End:     end.Sub(r.base),
+		Flops:   t.Flops,
+		Bytes:   bytes,
+		Attempt: attempt,
 	})
 }
 
@@ -278,7 +282,7 @@ func (tr *Trace) Gantt(width int) string {
 // makespan ≤ busy time) because a list schedule never lets every worker idle
 // while work remains — the property the measured executor can only approach
 // to within scheduling overhead.
-func (g *Graph) SimulateTrace(opt SimOptions) (*Trace, float64) {
+func (g *Graph) SimulateTrace(opt SimOptions) (*Trace, float64, error) {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
@@ -293,9 +297,12 @@ func (g *Graph) SimulateTrace(opt SimOptions) (*Trace, float64) {
 		start, finish float64
 	}
 	var recs []rec
-	makespan := g.simulateList(workers, cost, func(t *Task, w int, s, f float64) {
+	makespan, err := g.simulateList(workers, cost, func(t *Task, w int, s, f float64) {
 		recs = append(recs, rec{t, w, s, f})
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	scale := 1.0
 	if makespan > 0 {
 		scale = 1e9 / makespan // makespan ↦ ~1s of trace time
@@ -318,7 +325,7 @@ func (g *Graph) SimulateTrace(opt SimOptions) (*Trace, float64) {
 	}
 	sort.Slice(tr.Events, func(i, j int) bool { return tr.Events[i].Start < tr.Events[j].Start })
 	tr.CritPath = g.criticalPathMeasured(tr.Events)
-	return tr, makespan
+	return tr, makespan, nil
 }
 
 // ---- Chrome trace-event export -------------------------------------------
@@ -396,6 +403,12 @@ func WriteChromeTraces(w io.Writer, traces ...NamedTrace) error {
 					"flops": e.Flops,
 					"bytes": e.Bytes,
 				},
+			}
+			if e.Attempt > 0 {
+				// Replays get their own category so Perfetto can filter the
+				// retry storm out of (or into) view.
+				ce.Cat = "retry"
+				ce.Args["attempt"] = e.Attempt
 			}
 			if d := e.Duration(); d > 0 {
 				ce.Phase = "X"

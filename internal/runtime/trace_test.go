@@ -247,8 +247,8 @@ func TestQuickSimulateTraceInvariants(t *testing.T) {
 		r := rng.New(uint64(seed) + 11)
 		g := randomDAG(r)
 		for _, w := range []int{1, 2, 4, 8} {
-			tr, mk := g.SimulateTrace(SimOptions{Workers: w})
-			if mk <= 0 || tr.Wall <= 0 {
+			tr, mk, err := g.SimulateTrace(SimOptions{Workers: w})
+			if err != nil || mk <= 0 || tr.Wall <= 0 {
 				return false
 			}
 			slack := time.Duration(2 * len(tr.Events)) // per-event rounding

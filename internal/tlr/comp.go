@@ -23,27 +23,61 @@ import (
 // factorization rather than the tile count.
 var cntRecompress = obs.GetCounter("tlr.recompress.calls")
 
-// CompTile is a rank-k tile A ≈ U·Vᵀ with U (rows×k) and V (cols×k).
+// CompTile is a rank-k tile A ≈ U·Vᵀ with U (rows×k) and V (cols×k) — or,
+// when the compressed representation cannot meet its accuracy/rank budget,
+// an exact dense (DE) tile stored in D with U and V nil (HiCMA's mixed
+// dense/low-rank tile structure). Every TLR kernel branches on IsDense, so
+// the two representations mix freely within one matrix.
 type CompTile struct {
 	U, V *la.Mat
+	D    *la.Mat
 }
 
-// Rank returns the stored rank.
-func (c *CompTile) Rank() int { return c.U.Cols }
+// NewDenseTile wraps a dense matrix as an exact (DE) tile. The tile takes
+// ownership of d.
+func NewDenseTile(d *la.Mat) *CompTile { return &CompTile{D: d} }
+
+// IsDense reports whether the tile stores its entries exactly (DE fallback)
+// rather than as low-rank factors.
+func (c *CompTile) IsDense() bool { return c.D != nil }
+
+// Rank returns the stored rank (the full min dimension for a dense tile).
+func (c *CompTile) Rank() int {
+	if c.IsDense() {
+		return min(c.D.Rows, c.D.Cols)
+	}
+	return c.U.Cols
+}
 
 // Rows and Cols return the tile's logical dimensions.
-func (c *CompTile) Rows() int { return c.U.Rows }
+func (c *CompTile) Rows() int {
+	if c.IsDense() {
+		return c.D.Rows
+	}
+	return c.U.Rows
+}
 
 // Cols returns the number of columns of the represented tile.
-func (c *CompTile) Cols() int { return c.V.Rows }
+func (c *CompTile) Cols() int {
+	if c.IsDense() {
+		return c.D.Cols
+	}
+	return c.V.Rows
+}
 
-// Bytes returns the storage footprint of the factors.
+// Bytes returns the storage footprint of the representation.
 func (c *CompTile) Bytes() int64 {
+	if c.IsDense() {
+		return int64(c.D.Rows) * int64(c.D.Cols) * 8
+	}
 	return int64(c.U.Rows+c.V.Rows) * int64(c.Rank()) * 8
 }
 
-// Dense reconstructs the tile as a dense matrix.
+// Dense reconstructs the tile as a dense matrix (a copy in every case).
 func (c *CompTile) Dense() *la.Mat {
+	if c.IsDense() {
+		return c.D.Clone()
+	}
 	out := la.NewMat(c.Rows(), c.Cols())
 	if c.Rank() == 0 {
 		return out // exact zero tile
@@ -54,6 +88,9 @@ func (c *CompTile) Dense() *la.Mat {
 
 // Clone deep-copies the tile.
 func (c *CompTile) Clone() *CompTile {
+	if c.IsDense() {
+		return &CompTile{D: c.D.Clone()}
+	}
 	return &CompTile{U: c.U.Clone(), V: c.V.Clone()}
 }
 
@@ -390,9 +427,10 @@ func (ACACompressor) Compress(a *la.Mat, tol float64) *CompTile {
 }
 
 // Recompress re-orthogonalizes a CompTile and truncates it back to tol using
-// QR factors of U and V and an SVD of the small core.
+// QR factors of U and V and an SVD of the small core. Dense tiles are exact
+// and pass through untouched.
 func Recompress(c *CompTile, tol float64) *CompTile {
-	if c.Rank() == 0 {
+	if c.IsDense() || c.Rank() == 0 {
 		return c
 	}
 	cntRecompress.Inc()

@@ -43,6 +43,12 @@ type GenSpec struct {
 	// bitwise-identical at any worker count.
 	Comp Compressor
 
+	// ForceMiss, when non-nil, forces tile (i, j) of the mt×mt tiling to
+	// miss the compression tolerance and store densely (DE) — the chaos hook
+	// exercising the fallback path. Must be a pure function of its arguments
+	// so concurrent tasks reach identical verdicts.
+	ForceMiss func(mt, i, j int) bool
+
 	// scratch pools the NB×NB dense buffers the generate+compress tasks
 	// materialize tiles into before compression, so repeated graph
 	// executions allocate no per-tile scratch.
@@ -120,6 +126,13 @@ func AddGenTasks(g *runtime.Graph, m *Matrix, spec *GenSpec, dh []*runtime.Handl
 					t := forTile(spec.Comp, i, j).Compress(dense, m.Tol)
 					cntCompress.Inc()
 					histCompRank.Observe(int64(t.Rank()))
+					if (m.MaxRank > 0 && t.Rank() > m.MaxRank) ||
+						(spec.ForceMiss != nil && spec.ForceMiss(m.MT, i, j)) {
+						// dense is a view into buf — copy before the buffer
+						// returns to the pool
+						t = NewDenseTile(dense.Clone())
+						cntDenseTile.Inc()
+					}
 					spec.scratch.Put(buf)
 					m.off[i][j] = t
 					oh[i][j].SetBytes(t.Bytes())

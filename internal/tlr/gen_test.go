@@ -178,10 +178,10 @@ func TestACAZeroTileRankZero(t *testing.T) {
 		t.Fatal("TrsmLD changed a rank-0 tile")
 	}
 	full := SVDCompressor{}.Compress(covTile(t, 12, 12, 0.6), 1e-8)
-	if got := GemmLL(full, sq, full, 1e-8); got != full {
+	if got := GemmLL(full, sq, full, 1e-8, 0); got != full {
 		t.Fatal("GemmLL with a rank-0 operand must return C unchanged")
 	}
-	if got := GemmLL(sq, full, full, 1e-8); got.Rank() == 0 && full.Rank() > 0 {
+	if got := GemmLL(sq, full, full, 1e-8, 0); got.Rank() == 0 && full.Rank() > 0 {
 		t.Fatal("GemmLL failed to update a rank-0 C from nonzero operands")
 	}
 	x := make([]float64, 12)

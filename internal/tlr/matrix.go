@@ -2,6 +2,7 @@ package tlr
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cov"
 	"repro/internal/geom"
@@ -9,6 +10,21 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/tile"
 )
+
+// snapPool recycles the diagonal-tile snapshot buffers the retry path
+// captures before each POTRF/TRSM/SYRK attempt.
+var snapPool sync.Pool
+
+func snapBuf(n int) []float64 {
+	if v := snapPool.Get(); v != nil {
+		if b := v.([]float64); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putSnapBuf(b []float64) { snapPool.Put(b) } //nolint:staticcheck // slice header churn is negligible here
 
 // Matrix is an n×n symmetric matrix in TLR format: dense diagonal tiles and
 // compressed (U·Vᵀ) strictly-lower tiles, mirrored implicitly to the upper
@@ -19,6 +35,12 @@ type Matrix struct {
 	NB  int
 	MT  int
 	Tol float64
+
+	// MaxRank, when positive, caps compressed tile ranks: a tile that
+	// cannot meet Tol within MaxRank columns (at generation or after a
+	// trailing update) falls back to exact dense (DE) storage instead of
+	// erroring or growing without bound. Zero means uncapped.
+	MaxRank int
 
 	diag []*la.Mat
 	off  [][]*CompTile // off[i][j] valid for j < i
@@ -200,20 +222,50 @@ func BuildCholeskyGraph(m *Matrix, bind bool) *runtime.Graph {
 // newTileHandles registers one data handle per stored tile: dense diagonal
 // tiles and compressed off-diagonal tiles. Compressed handles start with the
 // current tile's footprint (zero for an empty shell) and are refreshed by the
-// generate+compress tasks via SetBytes as ranks change.
+// generate+compress tasks via SetBytes as ranks change. Every handle carries
+// a SnapshotFn so the executor's retry path can restore tile state after a
+// task panic: diagonal payloads are copied into pooled buffers, compressed
+// tiles are deep-cloned (TrsmLD mutates V in place and GemmLL replaces the
+// tile object, so a reference is not enough).
 func newTileHandles(g *runtime.Graph, m *Matrix) ([]*runtime.Handle, [][]*runtime.Handle) {
 	dh := make([]*runtime.Handle, m.MT)
 	oh := make([][]*runtime.Handle, m.MT)
 	for i := 0; i < m.MT; i++ {
+		i := i
 		di := int64(m.TileDim(i))
 		dh[i] = g.NewHandle(fmt.Sprintf("D[%d]", i), di*di*8, int64(i)*int64(m.MT)+int64(i))
+		dh[i].SnapshotFn = func() (restore, release func()) {
+			d := m.diag[i]
+			if d == nil {
+				// lazily allocated shell tile: restoring means un-allocating
+				return func() { m.diag[i] = nil }, func() {}
+			}
+			n := d.Rows * d.Stride
+			buf := snapBuf(n)
+			copy(buf, d.Data[:n])
+			restore = func() {
+				copy(d.Data[:n], buf)
+				m.diag[i] = d
+				putSnapBuf(buf)
+			}
+			release = func() { putSnapBuf(buf) }
+			return restore, release
+		}
 		oh[i] = make([]*runtime.Handle, i)
 		for j := 0; j < i; j++ {
+			j := j
 			var bytes int64
 			if m.off[i][j] != nil {
 				bytes = m.off[i][j].Bytes()
 			}
 			oh[i][j] = g.NewHandle(fmt.Sprintf("C[%d,%d]", i, j), bytes, int64(i)*int64(m.MT)+int64(j))
+			oh[i][j].SnapshotFn = func() (restore, release func()) {
+				var saved *CompTile
+				if t := m.off[i][j]; t != nil {
+					saved = t.Clone()
+				}
+				return func() { m.off[i][j] = saved }, func() {}
+			}
 		}
 	}
 	return dh, oh
@@ -294,7 +346,7 @@ func addCholeskyTasks(g *runtime.Graph, m *Matrix, dh []*runtime.Handle, oh [][]
 				var runG func()
 				if bind {
 					runG = func() {
-						m.off[i][j] = GemmLL(m.off[i][j], m.off[i][k], m.off[j][k], m.Tol)
+						m.off[i][j] = GemmLL(m.off[i][j], m.off[i][k], m.off[j][k], m.Tol, m.MaxRank)
 					}
 				}
 				g.AddTask(runtime.Task{

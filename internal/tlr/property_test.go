@@ -59,8 +59,8 @@ func TestQuickAddLowRankInverts(t *testing.T) {
 		for i := range y.Data {
 			y.Data[i] = r.Norm()
 		}
-		c1 := AddLowRank(c0, 1, x, y, 1e-10)
-		c2 := AddLowRank(c1, -1, x, y, 1e-10)
+		c1 := AddLowRank(c0, 1, x, y, 1e-10, 0)
+		c2 := AddLowRank(c1, -1, x, y, 1e-10, 0)
 		d := c2.Dense()
 		d.Sub(c0.Dense())
 		return d.FrobNorm() <= 1e-6*(c0.Dense().FrobNorm()+1)

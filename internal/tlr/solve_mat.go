@@ -4,9 +4,13 @@ import (
 	"repro/internal/la"
 )
 
-// MatMul computes C += alpha·(U·Vᵀ)·B for a compressed tile and a dense
-// block B (cols(tile)×r), the BLAS3 generalization of MatVec.
+// MatMul computes C += alpha·A·B for a TLR tile and a dense block B
+// (cols(tile)×r), the BLAS3 generalization of MatVec.
 func MatMul(a *CompTile, alpha float64, b, c *la.Mat) {
+	if a.IsDense() {
+		la.Gemm(alpha, a.D, la.NoTrans, b, la.NoTrans, 1, c)
+		return
+	}
 	k := a.Rank()
 	if k == 0 {
 		return
@@ -16,8 +20,12 @@ func MatMul(a *CompTile, alpha float64, b, c *la.Mat) {
 	la.Gemm(alpha, a.U, la.NoTrans, tmp, la.NoTrans, 1, c)
 }
 
-// MatMulT computes C += alpha·(U·Vᵀ)ᵀ·B = alpha·V·(Uᵀ·B).
+// MatMulT computes C += alpha·Aᵀ·B (= alpha·V·(Uᵀ·B) when compressed).
 func MatMulT(a *CompTile, alpha float64, b, c *la.Mat) {
+	if a.IsDense() {
+		la.Gemm(alpha, a.D, la.Transpose, b, la.NoTrans, 1, c)
+		return
+	}
 	k := a.Rank()
 	if k == 0 {
 		return

@@ -122,7 +122,7 @@ func TestAddLowRank(t *testing.T) {
 	for i := range y.Data {
 		y.Data[i] = r.Norm()
 	}
-	got := AddLowRank(c, -2, x, y, 1e-10)
+	got := AddLowRank(c, -2, x, y, 1e-10, 0)
 	want := a.Clone()
 	la.Gemm(-2, x, la.NoTrans, y, la.Transpose, 1, want)
 	if rel := frobDiff(got.Dense(), want) / want.FrobNorm(); rel > 1e-8 {
@@ -138,7 +138,7 @@ func TestGemmLL(t *testing.T) {
 	ca := SVDCompressor{}.Compress(a, tol)
 	cb := SVDCompressor{}.Compress(b, tol)
 	cc := SVDCompressor{}.Compress(cD, tol)
-	got := GemmLL(cc, ca, cb, tol)
+	got := GemmLL(cc, ca, cb, tol, 0)
 	want := cD.Clone()
 	la.Gemm(-1, a, la.NoTrans, b, la.Transpose, 1, want)
 	if rel := frobDiff(got.Dense(), want) / want.FrobNorm(); rel > 1e-6 {
