@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench clean
+.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench clean
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,13 @@ test:
 	$(GO) test ./...
 
 # verify is the pre-merge gate: vet, a focused uncached race pass over the
-# message-passing, session and metrics layers (the rank goroutines,
-# mailboxes, evaluator caches and lock-free instruments are the point), then
-# the full suite under the race detector (parallel assembly and scheduler
-# paths).
+# message-passing, session, metrics and spatial-ordering layers (the rank
+# goroutines, mailboxes, evaluator caches, lock-free instruments and the
+# ordering determinism contract are the point), then the full suite under
+# the race detector (parallel assembly and scheduler paths).
 verify:
 	$(GO) vet ./...
-	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/... ./internal/obs/... ./internal/geom/...
 	$(GO) test -race ./...
 
 bench:
@@ -50,6 +50,12 @@ chaos:
 # chaos-injected recovery on the n=1600 TLR Cholesky).
 chaosbench:
 	$(GO) run ./cmd/paperbench -chaos BENCH_chaos.json
+
+# orderbench regenerates the spatial-ordering sweep (none/morton/hilbert/
+# kdblock x uniform/clustered geometries: tile-rank histograms, TLR storage,
+# factorization makespan, per-rank comm bytes, cross-ordering agreement).
+orderbench:
+	$(GO) run ./cmd/paperbench -order BENCH_order.json
 
 clean:
 	$(GO) clean ./...

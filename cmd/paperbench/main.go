@@ -33,6 +33,7 @@ func main() {
 		dist    = flag.String("dist", "", "run the distributed TLR benchmark (likelihood agreement + comm-model validation), write the JSON report to this path (e.g. BENCH_dist.json), and exit")
 		trace   = flag.String("trace", "", "run the traced dense+TLR Cholesky executions, write the schedule report to this path (e.g. BENCH_trace.json) plus a Chrome trace artifact (.trace.json) next to it, and exit")
 		chaosp  = flag.String("chaos", "", "run the fault-tolerance benchmark (retry overhead + chaos-injected recovery on the n=1600 TLR Cholesky), write the JSON report to this path (e.g. BENCH_chaos.json), and exit")
+		order   = flag.String("order", "", "run the spatial-ordering sweep (none/morton/hilbert/kdblock x uniform/clustered: tile ranks, TLR bytes, factor makespan, per-rank comm), write the JSON report to this path (e.g. BENCH_order.json), and exit")
 	)
 	flag.Parse()
 
@@ -66,6 +67,15 @@ func main() {
 	if *chaosp != "" {
 		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
 		if err := exprt.WriteChaosBench(*chaosp, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *order != "" {
+		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+		if err := exprt.WriteOrderBench(*order, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -113,9 +113,45 @@ type ChaosStats = chaos.Stats
 type Synthetic = core.Synthetic
 
 // NewProblem bundles locations and measurements into a Problem, reordering
-// along the Morton curve (required for effective TLR compression).
+// along the Morton curve (the default spatial ordering; effective TLR
+// compression needs some locality-preserving order). The applied permutation
+// is kept on Problem.Perm so results map back to caller order.
 func NewProblem(pts []Point, z []float64, metric Metric) (*Problem, error) {
 	return core.NewProblem(pts, z, metric)
+}
+
+// Ordering is a spatial ordering scheme: a deterministic permutation of the
+// locations that controls off-diagonal covariance tile ranks — and with them
+// TLR compression flops, memory, and distributed wire bytes. Select one per
+// dataset with NewProblemOrdered or per session with Config.Ordering
+// ("none", "morton", "hilbert", "kdblock").
+type Ordering = geom.Ordering
+
+// The built-in orderings.
+var (
+	// OrderingNone keeps caller order (the control arm of ordering sweeps).
+	OrderingNone = geom.None
+	// OrderingMorton sorts along the Z-order curve (32 bits/axis) — the
+	// library default.
+	OrderingMorton = geom.Morton
+	// OrderingHilbert sorts along the Hilbert curve: consecutive cells are
+	// always edge-adjacent, typically the lowest tile ranks on clustered
+	// data.
+	OrderingHilbert = geom.Hilbert
+)
+
+// KDBlockOrdering returns the KD-tree recursive-bisection ordering with
+// tile-aligned blocks of tileSize points (<= 0 means the default 128).
+func KDBlockOrdering(tileSize int) Ordering { return geom.KDBlocks(tileSize) }
+
+// OrderingByName resolves an ordering scheme by its Config.Ordering name.
+func OrderingByName(name string, tileSize int) (Ordering, error) {
+	return geom.NewOrdering(name, tileSize)
+}
+
+// NewProblemOrdered bundles a dataset under an explicit spatial ordering.
+func NewProblemOrdered(pts []Point, z []float64, metric Metric, ord Ordering) (*Problem, error) {
+	return core.NewProblemOrdered(pts, z, metric, ord)
 }
 
 // LogLikelihood evaluates the Gaussian log-likelihood ℓ(θ) (paper eq. 1).

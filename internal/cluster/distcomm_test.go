@@ -13,7 +13,7 @@ import (
 func distCommPoints(n int) []geom.Point {
 	r := rng.New(0xd15c)
 	pts := geom.GeneratePerturbedGrid(n, r)
-	return geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	return geom.Sorted(geom.Morton, pts)
 }
 
 // measureCholeskyComm runs a distributed factorization and returns per-rank

@@ -43,7 +43,7 @@ func CalibrateRankModel(acc float64, theta cov.Params, calN, nbCal int) *RankMod
 	}
 	r := rng.New(0xca11b)
 	pts := geom.GeneratePerturbedGrid(calN, r)
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 	k := cov.NewKernel(theta)
 	mt := calN / nbCal
 	comp := tlr.SVDCompressor{}

@@ -90,6 +90,17 @@ type Config struct {
 	// message (0 = wait forever). With fault injection enabled a timeout
 	// turns a lost message into a diagnosed error instead of a hang.
 	RecvTimeout time.Duration
+	// Ordering selects the spatial ordering of the problem's locations —
+	// the permutation applied before tiling, which controls off-diagonal
+	// tile ranks and with them TLR compression flops, memory, and the
+	// distributed backend's wire bytes. "" (the zero value) keeps whatever
+	// ordering the Problem was built with (NewProblem defaults to Morton);
+	// "none" forces caller order, "morton" the Z-order curve, "hilbert" the
+	// Hilbert curve, and "kdblock" KD-tree recursive bisection into
+	// TileSize-aligned blocks. Sessions never mutate the caller's Problem: a
+	// differing Ordering reorders a session-private copy, and Problem.Perm
+	// maps results back to caller order.
+	Ordering string
 	// Chaos, when non-nil, injects the plan's deterministic faults into the
 	// session's executions — task panics/stragglers, message drops/delays,
 	// forced compression misses, rank kills. Nil (the default) injects
@@ -100,8 +111,10 @@ type Config struct {
 // DefaultConfig returns the library defaults spelled out: dense full-block
 // mode, 128-point tiles, 1e-9 TLR accuracy with the deterministic SVD
 // compressor, one worker, data-scaled nugget (1e-9·θ₁, encoded as Nugget=0),
-// shared-memory execution. A zero Config behaves identically; this function
-// exists so the defaults are documented and greppable in one place.
+// Morton spatial ordering, shared-memory execution. A zero Config behaves
+// identically (its empty Ordering keeps the Problem's own ordering, which
+// NewProblem also defaults to Morton); this function exists so the defaults
+// are documented and greppable in one place.
 func DefaultConfig() Config {
 	return Config{
 		Mode:           FullBlock,
@@ -111,6 +124,7 @@ func DefaultConfig() Config {
 		Workers:        1,
 		Nugget:         0,
 		Ranks:          1,
+		Ordering:       geom.OrderMorton,
 
 		MaxRetries:       0,
 		NuggetEscalation: 10,
@@ -140,6 +154,11 @@ func (c Config) Validate() error {
 	}
 	if _, err := tlr.CompressorByName(c.CompressorName); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if c.Ordering != "" {
+		if _, err := geom.NewOrdering(c.Ordering, c.TileSize); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	if c.Ranks < 0 {
 		return fmt.Errorf("core: negative Ranks %d", c.Ranks)
@@ -230,33 +249,101 @@ func (c Config) nugget(variance float64) float64 {
 }
 
 // Problem is a spatial dataset: locations, one measurement per location, and
-// the distance metric the covariance operates under.
+// the distance metric the covariance operates under. Points and Z are stored
+// in the spatial ordering applied at construction; Perm records how to get
+// back to the caller's order, so nothing the caller handed in is ever lost.
 type Problem struct {
 	Points []geom.Point
 	Z      []float64
 	Metric geom.Metric
+	// Perm maps stored order to caller order: Points[i] is the caller's
+	// pts[Perm[i]]. A nil Perm means identity (hand-constructed Problems).
+	Perm []int
+	// Ordering names the scheme that produced Perm ("morton", "hilbert",
+	// ...); empty for hand-constructed Problems.
+	Ordering string
 }
 
 // NewProblem bundles and validates a dataset, reordering locations and
-// measurements along the Morton curve (the ordering TLR compression needs;
-// it is harmless for the dense modes).
+// measurements along the Morton curve (the default ordering TLR compression
+// needs; it is harmless for the dense modes). The applied permutation is kept
+// on Problem.Perm; use NewProblemOrdered to choose a different scheme, or
+// Config.Ordering to override per session.
 func NewProblem(pts []geom.Point, z []float64, metric geom.Metric) (*Problem, error) {
+	return NewProblemOrdered(pts, z, metric, geom.Morton)
+}
+
+// NewProblemOrdered bundles and validates a dataset under an explicit spatial
+// ordering (geom.None, geom.Morton, geom.Hilbert, geom.KDBlocks(nb), or any
+// custom geom.Ordering). The permutation is recorded on Problem.Perm.
+func NewProblemOrdered(pts []geom.Point, z []float64, metric geom.Metric, ord geom.Ordering) (*Problem, error) {
 	if len(pts) == 0 {
 		return nil, errors.New("core: empty dataset")
 	}
 	if len(pts) != len(z) {
 		return nil, fmt.Errorf("core: %d locations but %d measurements", len(pts), len(z))
 	}
-	perm := geom.MortonOrder(pts)
+	if ord == nil {
+		ord = geom.None
+	}
+	perm := ord.Permutation(pts)
 	return &Problem{
-		Points: geom.ApplyPerm(pts, perm),
-		Z:      geom.ApplyPermFloat(z, perm),
-		Metric: metric,
+		Points:   geom.ApplyPerm(pts, perm),
+		Z:        geom.ApplyPermFloat(z, perm),
+		Metric:   metric,
+		Perm:     perm,
+		Ordering: ord.Name(),
 	}, nil
 }
 
 // N returns the number of observations.
 func (p *Problem) N() int { return len(p.Points) }
+
+// InversePerm returns the permutation mapping caller order to stored order
+// (the inverse of Problem.Perm; identity when Perm is nil).
+func (p *Problem) InversePerm() []int {
+	if p.Perm == nil {
+		return geom.IdentityPerm(p.N())
+	}
+	return geom.InversePerm(p.Perm)
+}
+
+// RestoreOrder maps a per-observation vector aligned with the stored order
+// (p.Z, residuals, kriging weights) back to the caller's original order:
+// out[Perm[i]] = v[i].
+func (p *Problem) RestoreOrder(v []float64) []float64 {
+	if len(v) != p.N() {
+		panic(fmt.Sprintf("core: RestoreOrder length %d, problem has %d observations", len(v), p.N()))
+	}
+	return geom.ApplyPermFloat(v, p.InversePerm())
+}
+
+// RestorePoints is RestoreOrder for location slices.
+func (p *Problem) RestorePoints(pts []geom.Point) []geom.Point {
+	if len(pts) != p.N() {
+		panic(fmt.Sprintf("core: RestorePoints length %d, problem has %d observations", len(pts), p.N()))
+	}
+	return geom.ApplyPerm(pts, p.InversePerm())
+}
+
+// Reordered returns a copy of p under ord. The permutations compose: the
+// copy's Perm still maps straight back to the original caller order, however
+// many reorderings happened in between. The receiver is not modified.
+func (p *Problem) Reordered(ord geom.Ordering) *Problem {
+	inv := p.InversePerm()
+	// Recover the caller-order dataset, then apply the new scheme to it so
+	// Perm addresses caller indices directly.
+	origPts := geom.ApplyPerm(p.Points, inv)
+	origZ := geom.ApplyPermFloat(p.Z, inv)
+	perm := ord.Permutation(origPts)
+	return &Problem{
+		Points:   geom.ApplyPerm(origPts, perm),
+		Z:        geom.ApplyPermFloat(origZ, perm),
+		Metric:   p.Metric,
+		Perm:     perm,
+		Ordering: ord.Name(),
+	}
+}
 
 // LikResult carries one likelihood evaluation with its diagnostics.
 type LikResult struct {

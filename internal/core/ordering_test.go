@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// rawDataset builds a caller-order dataset (no ordering applied) with a
+// sampled Matérn field.
+func rawDataset(t *testing.T, n int, seed uint64) ([]geom.Point, []float64) {
+	t.Helper()
+	r := rng.New(seed)
+	pts := geom.GeneratePerturbedGrid(n, r)
+	k := cov.NewKernel(theta())
+	z, err := cov.SampleField(k, pts, geom.Euclidean, r.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts, z
+}
+
+// TestProblemKeepsPermutation: NewProblem records the Morton permutation and
+// the restore helpers invert it exactly.
+func TestProblemKeepsPermutation(t *testing.T) {
+	pts, z := rawDataset(t, 144, 21)
+	p, err := NewProblem(pts, z, geom.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ordering != geom.OrderMorton {
+		t.Fatalf("NewProblem ordering %q, want %q", p.Ordering, geom.OrderMorton)
+	}
+	if len(p.Perm) != len(pts) {
+		t.Fatalf("perm length %d, want %d", len(p.Perm), len(pts))
+	}
+	for i := range p.Points {
+		if p.Points[i] != pts[p.Perm[i]] || p.Z[i] != z[p.Perm[i]] {
+			t.Fatalf("Perm does not map stored index %d to its caller point", i)
+		}
+	}
+	gotZ := p.RestoreOrder(p.Z)
+	gotPts := p.RestorePoints(p.Points)
+	for i := range pts {
+		if gotZ[i] != z[i] || gotPts[i] != pts[i] {
+			t.Fatalf("restore helpers did not recover caller order at %d", i)
+		}
+	}
+	inv := p.InversePerm()
+	for i := range p.Perm {
+		if inv[p.Perm[i]] != i {
+			t.Fatalf("InversePerm wrong at %d", i)
+		}
+	}
+}
+
+// TestNewProblemOrderedSchemes: each scheme is recorded, each is a valid
+// bijection over the data, and "none" preserves caller order exactly.
+func TestNewProblemOrderedSchemes(t *testing.T) {
+	pts, z := rawDataset(t, 100, 22)
+	for _, ord := range []geom.Ordering{geom.None, geom.Morton, geom.Hilbert, geom.KDBlocks(25)} {
+		p, err := NewProblemOrdered(pts, z, geom.Euclidean, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Ordering != ord.Name() {
+			t.Fatalf("ordering %q recorded as %q", ord.Name(), p.Ordering)
+		}
+		var sum float64
+		for _, v := range p.Z {
+			sum += v
+		}
+		var want float64
+		for _, v := range z {
+			want += v
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("%s: Z not a permutation of the input", ord.Name())
+		}
+	}
+	p, err := NewProblemOrdered(pts, z, geom.Euclidean, geom.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if p.Points[i] != pts[i] || p.Z[i] != z[i] {
+			t.Fatal("none ordering must preserve caller order")
+		}
+	}
+}
+
+// TestReorderedComposes: reordering a problem twice still maps straight back
+// to the original caller order, and leaves the receiver untouched.
+func TestReorderedComposes(t *testing.T) {
+	pts, z := rawDataset(t, 81, 23)
+	p, err := NewProblem(pts, z, geom.Euclidean) // morton
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforePts := append([]geom.Point(nil), p.Points...)
+	q := p.Reordered(geom.Hilbert).Reordered(geom.KDBlocks(27))
+	for i := range p.Points {
+		if p.Points[i] != beforePts[i] {
+			t.Fatal("Reordered mutated its receiver")
+		}
+	}
+	if q.Ordering != geom.OrderKDBlock {
+		t.Fatalf("ordering after two reorders %q", q.Ordering)
+	}
+	for i := range q.Points {
+		if q.Points[i] != pts[q.Perm[i]] || q.Z[i] != z[q.Perm[i]] {
+			t.Fatalf("composed Perm broken at %d", i)
+		}
+	}
+	gotZ := q.RestoreOrder(q.Z)
+	for i := range z {
+		if gotZ[i] != z[i] {
+			t.Fatalf("restore after composition wrong at %d", i)
+		}
+	}
+}
+
+// TestConfigOrderingValidation: unknown names are rejected, registered names
+// and the empty default pass.
+func TestConfigOrderingValidation(t *testing.T) {
+	for _, name := range append([]string{""}, geom.OrderingNames()...) {
+		cfg := Config{Ordering: name}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Ordering %q rejected: %v", name, err)
+		}
+	}
+	err := Config{Ordering: "zigzag"}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown ordering") {
+		t.Fatalf("unknown ordering error = %v", err)
+	}
+}
+
+// TestSessionAppliesConfiguredOrdering: a Session with a different Ordering
+// evaluates on a reordered private copy and leaves the caller's Problem
+// untouched.
+func TestSessionAppliesConfiguredOrdering(t *testing.T) {
+	pts, z := rawDataset(t, 100, 24)
+	p, err := NewProblem(pts, z, geom.Euclidean) // morton
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]geom.Point(nil), p.Points...)
+	s, err := NewSession(p, Config{Mode: TLR, TileSize: 25, Accuracy: 1e-9, Ordering: geom.OrderHilbert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Problem().Ordering; got != geom.OrderHilbert {
+		t.Fatalf("session problem ordering %q, want hilbert", got)
+	}
+	if s.Problem() == p {
+		t.Fatal("session must not evaluate the caller's Problem under a different ordering")
+	}
+	for i := range before {
+		if p.Points[i] != before[i] {
+			t.Fatal("NewSession mutated the caller's Problem")
+		}
+	}
+	// Matching ordering (or empty) keeps the exact caller Problem.
+	for _, ordering := range []string{"", geom.OrderMorton} {
+		s2, err := NewSession(p, Config{Ordering: ordering})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Problem() != p {
+			t.Fatalf("Ordering %q must not copy an already-matching problem", ordering)
+		}
+	}
+}
+
+// TestOrderingInvariantLikelihood: the log-likelihood is a property of the
+// dataset, not of the row order — every ordering must produce the same value
+// up to factorization roundoff (dense mode) and compression tolerance (TLR).
+func TestOrderingInvariantLikelihood(t *testing.T) {
+	pts, z := rawDataset(t, 144, 25)
+	newPts := []geom.Point{{X: 0.31, Y: 0.47}, {X: 0.83, Y: 0.12}, {X: 0.05, Y: 0.95}}
+	type result struct {
+		lik  float64
+		pred []float64
+	}
+	run := func(cfg Config) map[string]result {
+		out := map[string]result{}
+		for _, name := range geom.OrderingNames() {
+			cfg := cfg
+			cfg.Ordering = name
+			cfg.TileSize = 24
+			p, err := NewProblemOrdered(pts, z, geom.Euclidean, geom.None)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSession(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lik, err := s.LogLikelihood(theta())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := s.Predict(newPts, theta())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = result{lik: lik.Value, pred: pred}
+		}
+		return out
+	}
+	check := func(res map[string]result, tol float64, mode string) {
+		ref := res[geom.OrderNone]
+		for name, r := range res {
+			if rel := math.Abs(r.lik-ref.lik) / math.Abs(ref.lik); rel > tol {
+				t.Fatalf("%s: %s loglik %.12f vs none %.12f (rel %.2e > %.0e)",
+					mode, name, r.lik, ref.lik, rel, tol)
+			}
+			for i := range r.pred {
+				if d := math.Abs(r.pred[i] - ref.pred[i]); d > tol*10 {
+					t.Fatalf("%s: %s prediction %d differs by %g", mode, name, i, d)
+				}
+			}
+		}
+	}
+	check(run(Config{Mode: FullBlock}), 1e-10, "dense")
+	check(run(Config{Mode: TLR, Accuracy: 1e-9, CompressorName: "svd"}), 1e-6, "tlr")
+}
+
+// TestOrderingComposesWithChaos: a chaos-injected TLR fit under a non-default
+// ordering recovers bitwise the fault-free result — a retried tile sees the
+// same ordering.
+func TestOrderingComposesWithChaos(t *testing.T) {
+	p := smallProblem(t, 120, 26)
+	newPts := []geom.Point{{X: 0.41, Y: 0.43}, {X: 0.13, Y: 0.77}}
+	base := Config{Mode: TLR, TileSize: 24, Accuracy: 1e-7, CompressorName: "rsvd",
+		Workers: 4, Ordering: geom.OrderHilbert}
+
+	_, wantFit, wantPred := fitAndPredict(t, p, base, newPts)
+
+	cfg := base
+	cfg.MaxRetries = 2
+	cfg.Chaos = &chaos.FaultPlan{
+		Seed:       4321,
+		TaskPanics: 3,
+		TaskDelays: 3,
+		TaskDelay:  100 * time.Microsecond,
+	}
+	s, gotFit, gotPred := fitAndPredict(t, p, cfg, newPts)
+	if st := s.ChaosStats(); st.TaskPanics < 1 {
+		t.Fatalf("no task panic was injected: %+v", st)
+	}
+	if gotFit.Theta != wantFit.Theta || gotFit.LogL != wantFit.LogL {
+		t.Fatalf("hilbert-ordered fit under chaos diverged:\n got %+v\nwant %+v", gotFit, wantFit)
+	}
+	for i := range wantPred {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("hilbert-ordered prediction %d diverged under chaos", i)
+		}
+	}
+}
+
+// TestOrderingDistributedMatchesShared: the distributed backend under each
+// ordering agrees with the shared-memory likelihood on the same ordering.
+func TestOrderingDistributedMatchesShared(t *testing.T) {
+	p := smallProblem(t, 256, 27)
+	for _, name := range []string{geom.OrderMorton, geom.OrderHilbert, geom.OrderKDBlock} {
+		shared := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-9, Ordering: name}
+		want, err := LogLikelihood(p, theta(), shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := shared
+		dist.Ranks = 4
+		got, err := LogLikelihood(p, theta(), dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got.Value-want.Value) / math.Abs(want.Value); rel > 1e-12 {
+			t.Fatalf("%s: distributed loglik %.12f vs shared %.12f (rel %.2e)",
+				name, got.Value, want.Value, rel)
+		}
+	}
+}

@@ -44,6 +44,16 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	cfg = cfg.normalized()
+	if cfg.Ordering != "" && cfg.Ordering != p.Ordering {
+		// The configured ordering differs from the Problem's: evaluate on a
+		// session-private reordered copy. The caller's Problem is untouched,
+		// and the copy's Perm still maps back to caller order.
+		ord, err := geom.NewOrdering(cfg.Ordering, cfg.TileSize)
+		if err != nil {
+			return nil, err // unreachable after Validate; kept for safety
+		}
+		p = p.Reordered(ord)
+	}
 	s := &Session{p: p, cfg: cfg}
 	if cfg.Chaos != nil {
 		s.inj = chaos.NewInjector(cfg.Chaos)
@@ -72,7 +82,10 @@ func (s *Session) ChaosStats() chaos.Stats {
 // Config returns the session's normalized configuration (defaults resolved).
 func (s *Session) Config() Config { return s.cfg }
 
-// Problem returns the dataset the session operates on.
+// Problem returns the dataset the session operates on. When Config.Ordering
+// differs from the ordering the Problem was built with, this is the
+// session-private reordered copy (its Perm maps back to caller order), not
+// the Problem passed to NewSession.
 func (s *Session) Problem() *Problem { return s.p }
 
 // LogLikelihood evaluates ℓ(θ) (paper eq. 1), reusing the session's cached

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/geom"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -47,6 +49,14 @@ func TestConfigValidate(t *testing.T) {
 func TestConfigNormalized(t *testing.T) {
 	got := Config{}.normalized()
 	want := DefaultConfig().normalized()
+	// The one intentional difference: an empty Ordering means "keep the
+	// Problem's ordering" and survives normalization, while DefaultConfig
+	// spells out the library default ("morton") — behaviorally identical for
+	// NewProblem-built datasets, which are Morton-ordered already.
+	if got.Ordering != "" || want.Ordering != geom.OrderMorton {
+		t.Fatalf("ordering defaults: zero %q, DefaultConfig %q", got.Ordering, want.Ordering)
+	}
+	want.Ordering = got.Ordering
 	if got != want {
 		t.Fatalf("zero Config normalizes to %+v, DefaultConfig to %+v", got, want)
 	}

@@ -53,22 +53,16 @@ func ablationOrdering(o Options) error {
 	r := rng.New(o.Seed)
 	pts := geom.GeneratePerturbedGrid(n, r)
 
-	fmt.Fprintf(o.Out, "\n[1] location ordering (n=%d, nb=%d, acc=1e-7)\n", n, nb)
+	fmt.Fprintf(o.Out, "\n[1] location ordering (n=%d, nb=%d, acc=1e-7; full sweep incl. clustered geometry: paperbench -order)\n", n, nb)
 	tb := stats.NewTable("ordering", "max rank", "mean rank", "tlr bytes", "dense bytes", "chol time")
-	for _, c := range []struct {
-		name   string
-		points []geom.Point
-	}{
-		{"raw grid order", pts},
-		{"morton order", geom.ApplyPerm(pts, geom.MortonOrder(pts))},
-	} {
-		m := tlr.FromKernel(k, c.points, geom.Euclidean, n, nb, 1e-7, tlr.SVDCompressor{}, 1e-9, o.Workers)
+	for _, ord := range []geom.Ordering{geom.None, geom.Morton, geom.Hilbert, geom.KDBlocks(nb)} {
+		m := tlr.FromKernel(k, geom.Sorted(ord, pts), geom.Euclidean, n, nb, 1e-7, tlr.SVDCompressor{}, 1e-9, o.Workers)
 		maxK, meanK := m.RankStats()
 		t0 := time.Now()
 		if err := tlr.Cholesky(m, o.Workers); err != nil {
 			return err
 		}
-		tb.AddRow(c.name, fmt.Sprintf("%d", maxK), fmt.Sprintf("%.1f", meanK),
+		tb.AddRow(ord.Name(), fmt.Sprintf("%d", maxK), fmt.Sprintf("%.1f", meanK),
 			fmt.Sprintf("%d", m.Bytes()), fmt.Sprintf("%d", m.DenseBytes()),
 			fmtSecs(time.Since(t0).Seconds(), false))
 	}
@@ -82,7 +76,7 @@ func ablationCompressor(o Options) error {
 	k := cov.NewKernel(th)
 	r := rng.New(o.Seed + 1)
 	pts := geom.GeneratePerturbedGrid(nb*nb, r)
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 
 	fmt.Fprintf(o.Out, "\n[2] compression backend (tile %dx%d pairs, acc=1e-7)\n", nb, nb)
 	tb := stats.NewTable("backend", "mean rank", "total time", "max rel err")
@@ -156,7 +150,7 @@ func ablationFormats(o Options) error {
 	k := cov.NewKernel(maternRef())
 	r := rng.New(o.Seed + 2)
 	pts := geom.GeneratePerturbedGrid(n, r)
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 	fmt.Fprintf(o.Out, "\n[5] compression format: flat TLR vs recursive HODLR (n=%d, §II trade-off)\n", n)
 	tb := stats.NewTable("accuracy", "dense bytes", "tlr bytes", "hodlr bytes", "tlr max rank", "hodlr max rank")
 	for _, acc := range []float64{1e-3, 1e-6, 1e-9} {
@@ -178,7 +172,7 @@ func ablationDistributed(o Options) error {
 	k := cov.NewKernel(maternRef())
 	r := rng.New(o.Seed + 3)
 	pts := geom.GeneratePerturbedGrid(n, r)
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 	fmt.Fprintf(o.Out, "\n[6] really-distributed (message passing, no shared matrix) Cholesky, n=%d nb=%d\n", n, nb)
 
 	ref := la.NewMat(n, n)

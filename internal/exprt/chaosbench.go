@@ -56,7 +56,7 @@ type ChaosRunResult struct {
 func chaosAssemble(o Options, n, nb int, tol float64) *tlr.Matrix {
 	k := cov.NewKernel(maternRef())
 	pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 	return tlr.FromKernel(k, pts, geom.Euclidean, n, nb, tol, tlr.RSVDCompressor{}, 1e-9, o.Workers)
 }
 

@@ -20,7 +20,7 @@ func Fig1(o Options) error {
 	acc := 1e-7
 	r := rng.New(o.Seed)
 	pts := geom.GeneratePerturbedGrid(n, r)
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 	k := cov.NewKernel(maternRef())
 	m := tlr.FromKernel(k, pts, geom.Euclidean, n, nb, acc, tlr.SVDCompressor{}, 1e-9, o.Workers)
 

@@ -1,0 +1,245 @@
+package exprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/tlr"
+)
+
+// OrderBench measures the spatial-ordering engine end to end
+// (`paperbench -order`, written as BENCH_order.json): for each ordering
+// (none / morton / hilbert / kdblock) on each geometry (uniform perturbed
+// grid, clustered blobs) it records the off-diagonal rank distribution the
+// compressor actually saw (the tlr.compress.rank histogram), TLR storage,
+// factorization makespan, likelihood/prediction agreement with the raw
+// ordering, and the per-rank traffic of a distributed factorization. This is
+// the measured form of the paper's ordering discussion (§V): a space-filling
+// curve makes tile interactions low-rank, and everything downstream —
+// memory, flops, messages — inherits that.
+
+// OrderRow is one ordering on one geometry.
+type OrderRow struct {
+	Ordering string `json:"ordering"`
+
+	// Rank structure of the off-diagonal tiles.
+	MaxRank  int     `json:"max_rank"`
+	MeanRank float64 `json:"mean_rank"`
+	// Histogram of compressor-observed ranks over this build only
+	// (snapshot diff of tlr.compress.rank).
+	RankP50   int64         `json:"rank_p50"`
+	RankP95   int64         `json:"rank_p95"`
+	RankHist  map[int]int64 `json:"rank_hist_buckets,omitempty"`
+	HistTiles int64         `json:"hist_tiles"`
+
+	TLRBytes   int64   `json:"tlr_bytes"`
+	DenseBytes int64   `json:"dense_bytes"`
+	FactorMS   float64 `json:"factor_ms"`
+
+	// Accuracy vs the "none" row of the same geometry: the likelihood is a
+	// property of the dataset, not the row order.
+	LogLik            float64 `json:"loglik"`
+	RelErrVsRaw       float64 `json:"rel_err_vs_raw"`
+	MaxPredDiffVsRaw  float64 `json:"max_pred_diff_vs_raw"`
+	WithinSolverTol   bool    `json:"within_solver_tol"`
+	PerRankSentBytes  []int64 `json:"per_rank_sent_bytes"`
+	TotalCommSentByte int64   `json:"total_comm_sent_bytes"`
+}
+
+// OrderGeomResult is the full ordering sweep on one point geometry.
+type OrderGeomResult struct {
+	Geometry string     `json:"geometry"` // "uniform" or "clustered"
+	Rows     []OrderRow `json:"rows"`
+}
+
+// OrderAcceptance is the report's pass/fail summary: on the clustered
+// geometry a locality-aware ordering must beat the raw order on mean rank,
+// and every ordering must agree with raw to solver tolerance.
+type OrderAcceptance struct {
+	ClusteredHilbertBeatsRaw bool `json:"clustered_hilbert_beats_raw"`
+	ClusteredKDBlockBeatsRaw bool `json:"clustered_kdblock_beats_raw"`
+	AllWithinSolverTol       bool `json:"all_within_solver_tol"`
+	Pass                     bool `json:"pass"`
+}
+
+// OrderBenchReport is the JSON payload of BENCH_order.json.
+type OrderBenchReport struct {
+	N          int               `json:"n"`
+	NB         int               `json:"nb"`
+	Tol        float64           `json:"tol"`
+	Compressor string            `json:"compressor"`
+	DistRanks  int               `json:"dist_ranks"`
+	Geometries []OrderGeomResult `json:"geometries"`
+	Acceptance OrderAcceptance   `json:"acceptance"`
+}
+
+// orderBenchPoints builds the two benchmark geometries in caller (raw) order.
+func orderBenchPoints(n int, seed uint64) map[string][]geom.Point {
+	return map[string][]geom.Point{
+		"uniform":   geom.GeneratePerturbedGrid(n, rng.New(seed)),
+		"clustered": geom.GenerateClustered(n, 8, 0.02, rng.New(seed+1)),
+	}
+}
+
+// OrderBench sweeps orderings × geometries at n=1024, nb=128, acc=1e-7.
+func OrderBench(o Options) (*OrderBenchReport, error) {
+	o = o.withDefaults()
+	const (
+		n         = 1024
+		nb        = 128
+		tol       = 1e-7
+		distRanks = 4
+		solverTol = 1e-5 // likelihood agreement across orderings, rel
+	)
+	th := maternRef()
+	k := cov.NewKernel(th)
+	newPts := []geom.Point{{X: 0.31, Y: 0.47}, {X: 0.83, Y: 0.12}, {X: 0.05, Y: 0.95}}
+
+	rep := &OrderBenchReport{N: n, NB: nb, Tol: tol, Compressor: "svd", DistRanks: distRanks}
+	geoms := orderBenchPoints(n, o.Seed)
+	for _, geomName := range []string{"uniform", "clustered"} {
+		pts := geoms[geomName]
+		z, err := cov.SampleField(k, pts, geom.Euclidean, rng.New(o.Seed+7).Split(2))
+		if err != nil {
+			return nil, err
+		}
+		// One raw-order problem; each session reorders its private copy.
+		p, err := core.NewProblemOrdered(pts, z, geom.Euclidean, geom.None)
+		if err != nil {
+			return nil, err
+		}
+		res := OrderGeomResult{Geometry: geomName}
+		var rawLik float64
+		var rawPred []float64
+		for _, name := range geom.OrderingNames() {
+			ord, err := geom.NewOrdering(name, nb)
+			if err != nil {
+				return nil, err
+			}
+			spts := geom.Sorted(ord, pts)
+
+			// Rank structure + compressor histogram, isolated by snapshot diff.
+			pre := obs.Default().Snapshot()
+			m := tlr.FromKernel(k, spts, geom.Euclidean, n, nb, tol, tlr.SVDCompressor{}, 1e-9, o.Workers)
+			hist := obs.Default().Snapshot().Sub(pre).Histograms["tlr.compress.rank"]
+			maxK, meanK := m.RankStats()
+			t0 := time.Now()
+			if err := tlr.Cholesky(m, o.Workers); err != nil {
+				return nil, err
+			}
+			row := OrderRow{
+				Ordering: name,
+				MaxRank:  maxK, MeanRank: meanK,
+				RankP50: hist.Quantile(0.5), RankP95: hist.Quantile(0.95),
+				RankHist: hist.Buckets, HistTiles: hist.Count,
+				TLRBytes: m.Bytes(), DenseBytes: m.DenseBytes(),
+				FactorMS: ms(time.Since(t0).Seconds()),
+			}
+
+			// Likelihood + prediction through the public Config knob.
+			cfg := core.Config{Mode: core.TLR, TileSize: nb, Accuracy: tol,
+				CompressorName: "svd", Workers: o.Workers, Ordering: name}
+			s, err := core.NewSession(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			lik, err := s.LogLikelihood(th)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := s.Predict(newPts, th)
+			if err != nil {
+				return nil, err
+			}
+			row.LogLik = lik.Value
+			if name == geom.OrderNone {
+				rawLik, rawPred = lik.Value, pred
+			}
+			row.RelErrVsRaw = math.Abs(lik.Value-rawLik) / math.Abs(rawLik)
+			for i := range pred {
+				if d := math.Abs(pred[i] - rawPred[i]); d > row.MaxPredDiffVsRaw {
+					row.MaxPredDiffVsRaw = d
+				}
+			}
+			row.WithinSolverTol = row.RelErrVsRaw <= solverTol && row.MaxPredDiffVsRaw <= 1e-4
+
+			// Per-rank traffic of the same likelihood on the distributed backend.
+			dcfg := cfg
+			dcfg.Ranks = distRanks
+			ds, err := core.NewSession(p, dcfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ds.LogLikelihood(th); err != nil {
+				return nil, err
+			}
+			for _, st := range ds.CommStats() {
+				row.PerRankSentBytes = append(row.PerRankSentBytes, st.BytesSent)
+				row.TotalCommSentByte += st.BytesSent
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		rep.Geometries = append(rep.Geometries, res)
+	}
+
+	// Acceptance: locality-aware orderings must pay off where locality is
+	// there to exploit, and never change the answer.
+	acc := OrderAcceptance{AllWithinSolverTol: true}
+	for _, g := range rep.Geometries {
+		byName := map[string]OrderRow{}
+		for _, r := range g.Rows {
+			byName[r.Ordering] = r
+			if !r.WithinSolverTol {
+				acc.AllWithinSolverTol = false
+			}
+		}
+		if g.Geometry == "clustered" {
+			raw := byName[geom.OrderNone]
+			acc.ClusteredHilbertBeatsRaw = byName[geom.OrderHilbert].MeanRank < raw.MeanRank
+			acc.ClusteredKDBlockBeatsRaw = byName[geom.OrderKDBlock].MeanRank < raw.MeanRank
+		}
+	}
+	acc.Pass = acc.AllWithinSolverTol && (acc.ClusteredHilbertBeatsRaw || acc.ClusteredKDBlockBeatsRaw)
+	rep.Acceptance = acc
+	return rep, nil
+}
+
+// WriteOrderBench runs OrderBench and writes the JSON report to path,
+// echoing a summary table to o.Out.
+func WriteOrderBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep, err := OrderBench(o)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "order bench n=%d nb=%d tol=%g %s (dist ranks=%d) -> %s\n",
+		rep.N, rep.NB, rep.Tol, rep.Compressor, rep.DistRanks, path)
+	for _, g := range rep.Geometries {
+		fmt.Fprintf(o.Out, "  %s:\n", g.Geometry)
+		for _, r := range g.Rows {
+			fmt.Fprintf(o.Out, "    %-8s rank max %3d mean %5.1f p95 %3d  tlr %7.1fKB  factor %7.1fms  comm %7.1fKB  rel err %.1e\n",
+				r.Ordering, r.MaxRank, r.MeanRank, r.RankP95,
+				float64(r.TLRBytes)/1024, r.FactorMS,
+				float64(r.TotalCommSentByte)/1024, r.RelErrVsRaw)
+		}
+	}
+	fmt.Fprintf(o.Out, "  acceptance: hilbert<raw %v, kdblock<raw %v (clustered mean rank), within tol %v -> pass=%v\n",
+		rep.Acceptance.ClusteredHilbertBeatsRaw, rep.Acceptance.ClusteredKDBlockBeatsRaw,
+		rep.Acceptance.AllWithinSolverTol, rep.Acceptance.Pass)
+	return nil
+}

@@ -92,7 +92,7 @@ func TLRBench(o Options) *TLRBenchReport {
 	}
 	k := cov.NewKernel(maternRef())
 	pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 	comp := tlr.RSVDCompressor{}
 
 	var ref *tlr.Matrix

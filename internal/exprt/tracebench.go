@@ -82,7 +82,7 @@ func TraceBench(o Options) (*TraceBenchReport, []runtime.NamedTrace, error) {
 	}
 	k := cov.NewKernel(maternRef())
 	pts := geom.GeneratePerturbedGrid(n, rng.New(o.Seed))
-	pts = geom.ApplyPerm(pts, geom.MortonOrder(pts))
+	pts = geom.Sorted(geom.Morton, pts)
 
 	var named []runtime.NamedTrace
 

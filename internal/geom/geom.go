@@ -1,14 +1,14 @@
 // Package geom provides the spatial-geometry substrate: location generation
-// (the paper's perturbed-grid scheme, §VII), distance metrics (Euclidean and
-// great-circle/haversine), Morton space-filling-curve ordering (which gives
-// the off-diagonal tiles of the covariance matrix the rank decay TLR
-// compression exploits), and rectangular region partitioning used by the
-// real-dataset experiments.
+// (the paper's perturbed-grid scheme, §VII, plus clustered geometries),
+// distance metrics (Euclidean and great-circle/haversine), the spatial
+// ordering engine (Morton and Hilbert space-filling curves and KD-tree block
+// clustering — see Ordering — which give the off-diagonal tiles of the
+// covariance matrix the rank decay TLR compression exploits), and
+// rectangular region partitioning used by the real-dataset experiments.
 package geom
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/rng"
 )
@@ -128,51 +128,31 @@ func GenerateGrid(m int) []Point {
 }
 
 // MortonOrder returns a permutation that sorts pts along the Morton (Z-order)
-// space-filling curve. Applying it to both locations and measurements makes
-// nearby-in-space points nearby-in-index, which is what gives off-diagonal
-// covariance tiles their low numerical rank.
+// space-filling curve at 32 bits per axis. Applying it to both locations and
+// measurements makes nearby-in-space points nearby-in-index, which is what
+// gives off-diagonal covariance tiles their low numerical rank. (The earlier
+// 16-bit quantization aliased clustered or ≥100k-point datasets onto
+// identical codes, silently degrading locality to input order.)
 func MortonOrder(pts []Point) []int {
 	if len(pts) == 0 {
 		return nil
 	}
-	minX, maxX := pts[0].X, pts[0].X
-	minY, maxY := pts[0].Y, pts[0].Y
-	for _, p := range pts[1:] {
-		minX = math.Min(minX, p.X)
-		maxX = math.Max(maxX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxY = math.Max(maxY, p.Y)
-	}
-	sx := 0.0
-	if maxX > minX {
-		sx = (1<<16 - 1) / (maxX - minX)
-	}
-	sy := 0.0
-	if maxY > minY {
-		sy = (1<<16 - 1) / (maxY - minY)
-	}
+	xs, ys := quantize32(pts)
 	codes := make([]uint64, len(pts))
-	for i, p := range pts {
-		ix := uint32((p.X - minX) * sx)
-		iy := uint32((p.Y - minY) * sy)
-		codes[i] = interleave16(ix, iy)
+	for i := range codes {
+		codes[i] = interleave32(xs[i], ys[i])
 	}
-	perm := make([]int, len(pts))
-	for i := range perm {
-		perm[i] = i
-	}
-	sort.SliceStable(perm, func(a, b int) bool { return codes[perm[a]] < codes[perm[b]] })
-	return perm
+	return permByCode(codes)
 }
 
-// interleave16 interleaves the low 16 bits of x and y into a 32-bit Morton
-// code (x in even positions).
-func interleave16(x, y uint32) uint64 {
+// interleave32 interleaves the 32 bits of x and y into a 64-bit Morton code
+// (x in even positions).
+func interleave32(x, y uint32) uint64 {
 	return spread(x) | spread(y)<<1
 }
 
 func spread(v uint32) uint64 {
-	x := uint64(v) & 0xffff
+	x := uint64(v)
 	x = (x | x<<16) & 0x0000ffff0000ffff
 	x = (x | x<<8) & 0x00ff00ff00ff00ff
 	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f

@@ -1,0 +1,332 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Ordering names accepted by NewOrdering (and core.Config.Ordering).
+const (
+	OrderNone    = "none"
+	OrderMorton  = "morton"
+	OrderHilbert = "hilbert"
+	OrderKDBlock = "kdblock"
+)
+
+// Ordering produces a spatial permutation of a location set. The ordering of
+// locations decides which points end up in the same covariance tile and how
+// far apart in space two tiles' point clusters are — i.e. it directly
+// controls the numerical ranks of off-diagonal tiles, and with them TLR
+// compression flops, tile memory, and the compressed bytes the distributed
+// backend puts on the wire.
+//
+// Every implementation is a pure, sequential function of its input: the
+// returned permutation is a bijection on [0, len(pts)), bitwise identical
+// across calls, worker counts and processes. That determinism is what lets
+// retried or replayed tiles (the chaos/retry path) regenerate exactly the
+// tile they lost.
+type Ordering interface {
+	// Name returns the scheme's registry name ("none", "morton", ...).
+	Name() string
+	// Permutation returns perm such that pts[perm[0]], pts[perm[1]], ... is
+	// the ordered point sequence. It does not modify pts.
+	Permutation(pts []Point) []int
+}
+
+// The stateless orderings as ready-to-use values.
+var (
+	// None keeps the caller's order (the control arm of ordering sweeps).
+	None Ordering = noOrdering{}
+	// Morton sorts along the Z-order curve (32 bits per axis).
+	Morton Ordering = mortonOrdering{}
+	// Hilbert sorts along the Hilbert curve (32 bits per axis). Unlike
+	// Z-order it has no long diagonal jumps: consecutive curve cells are
+	// always edge-adjacent, which keeps index-neighbors space-neighbors even
+	// across quadrant boundaries.
+	Hilbert Ordering = hilbertOrdering{}
+)
+
+// KDBlocks returns the KD-tree recursive-bisection ordering: the point set is
+// split on the wider bounding-box axis into tile-aligned halves until every
+// block fits tileSize points, and the leaf blocks are concatenated
+// left-to-right. Each tile of the resulting order holds one spatially compact
+// block, and every block boundary (except the final partial block's end)
+// lands on a multiple of tileSize. tileSize <= 0 means the library default
+// tile size 128.
+func KDBlocks(tileSize int) Ordering { return kdBlockOrdering{tileSize: tileSize} }
+
+// NewOrdering resolves a scheme by name. tileSize parameterizes "kdblock"
+// (<= 0 means the default 128) and is ignored by the other schemes.
+func NewOrdering(name string, tileSize int) (Ordering, error) {
+	switch name {
+	case OrderNone:
+		return None, nil
+	case OrderMorton:
+		return Morton, nil
+	case OrderHilbert:
+		return Hilbert, nil
+	case OrderKDBlock:
+		return KDBlocks(tileSize), nil
+	}
+	return nil, fmt.Errorf("geom: unknown ordering %q (have %v)", name, OrderingNames())
+}
+
+// OrderingNames lists the registered ordering schemes.
+func OrderingNames() []string {
+	return []string{OrderNone, OrderMorton, OrderHilbert, OrderKDBlock}
+}
+
+// Sorted returns a copy of pts permuted by ord — the one-line form of
+// ApplyPerm(pts, ord.Permutation(pts)) used throughout the benches.
+func Sorted(ord Ordering, pts []Point) []Point {
+	return ApplyPerm(pts, ord.Permutation(pts))
+}
+
+// InversePerm returns inv with inv[perm[i]] = i: if perm maps stored order to
+// caller order, inv maps caller order back to stored order.
+func InversePerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// IdentityPerm returns the identity permutation of size n.
+func IdentityPerm(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}
+
+type noOrdering struct{}
+
+func (noOrdering) Name() string                  { return OrderNone }
+func (noOrdering) Permutation(pts []Point) []int { return IdentityPerm(len(pts)) }
+
+type mortonOrdering struct{}
+
+func (mortonOrdering) Name() string                  { return OrderMorton }
+func (mortonOrdering) Permutation(pts []Point) []int { return MortonOrder(pts) }
+
+type hilbertOrdering struct{}
+
+func (hilbertOrdering) Name() string                  { return OrderHilbert }
+func (hilbertOrdering) Permutation(pts []Point) []int { return HilbertOrder(pts) }
+
+type kdBlockOrdering struct{ tileSize int }
+
+func (kdBlockOrdering) Name() string { return OrderKDBlock }
+func (o kdBlockOrdering) Permutation(pts []Point) []int {
+	return KDBlockOrder(pts, o.tileSize)
+}
+
+// quantize32 maps every point into the 2³²×2³² integer grid spanned by the
+// set's bounding box. 32 bits per axis resolve ~2.3e-10 of the box edge —
+// below float64 noise for any realistic dataset — where the previous 16-bit
+// grid aliased clustered or large-n (≥100k) datasets onto identical cells.
+func quantize32(pts []Point) (xs, ys []uint32) {
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	const maxQ = float64(1<<32 - 1)
+	sx, sy := 0.0, 0.0
+	if maxX > minX {
+		sx = maxQ / (maxX - minX)
+	}
+	if maxY > minY {
+		sy = maxQ / (maxY - minY)
+	}
+	xs = make([]uint32, len(pts))
+	ys = make([]uint32, len(pts))
+	for i, p := range pts {
+		vx := (p.X - minX) * sx
+		vy := (p.Y - minY) * sy
+		// Clamp before converting: rounding at the box edge may land one ulp
+		// past maxQ, and float→uint32 overflow is not defined to saturate.
+		if vx > maxQ {
+			vx = maxQ
+		}
+		if vy > maxQ {
+			vy = maxQ
+		}
+		xs[i] = uint32(vx)
+		ys[i] = uint32(vy)
+	}
+	return xs, ys
+}
+
+// permByCode returns the stable sort of indices by codes — stable so that
+// points sharing a curve cell keep their caller order, making every ordering
+// a deterministic function of the input alone.
+func permByCode(codes []uint64) []int {
+	perm := IdentityPerm(len(codes))
+	sort.SliceStable(perm, func(a, b int) bool { return codes[perm[a]] < codes[perm[b]] })
+	return perm
+}
+
+// HilbertOrder returns a permutation that sorts pts along the Hilbert
+// space-filling curve at 32 bits per axis. Hilbert codes have the prefix
+// property (the leading 2k bits identify the level-k quadrant), so sorting by
+// code recursively groups spatial neighborhoods; consecutive curve cells are
+// edge-adjacent, avoiding Z-order's long diagonal jumps.
+func HilbertOrder(pts []Point) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	xs, ys := quantize32(pts)
+	codes := make([]uint64, len(pts))
+	for i := range pts {
+		codes[i] = hilbertCode(xs[i], ys[i])
+	}
+	return permByCode(codes)
+}
+
+// hilbertCode maps a cell of the 2³²×2³² grid to its distance along the
+// order-32 Hilbert curve (the classic quadrant rotate/reflect recurrence,
+// unrolled over bit planes). Runs in wrapping uint64 arithmetic: the
+// reflection only needs the bits below s, and later iterations never look at
+// the higher ones.
+func hilbertCode(x, y uint32) uint64 {
+	hx, hy := uint64(x), uint64(y)
+	var d uint64
+	for s := uint64(1) << 31; s > 0; s >>= 1 {
+		var rx, ry uint64
+		if hx&s != 0 {
+			rx = 1
+		}
+		if hy&s != 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		if ry == 0 {
+			if rx == 1 {
+				hx = s - 1 - hx
+				hy = s - 1 - hy
+			}
+			hx, hy = hy, hx
+		}
+	}
+	return d
+}
+
+// KDBlockOrder returns the KD-tree recursive-bisection permutation: see
+// KDBlocks. The concatenated leaf blocks of KDBlockPartition are the
+// permutation.
+func KDBlockOrder(pts []Point, tileSize int) []int {
+	blocks := KDBlockPartition(pts, tileSize)
+	perm := make([]int, 0, len(pts))
+	for _, b := range blocks {
+		perm = append(perm, b...)
+	}
+	return perm
+}
+
+// KDBlockPartition recursively bisects pts on the wider bounding-box axis
+// into spatially compact index blocks of at most tileSize points (<= 0 means
+// the default 128). Splits are rounded to multiples of tileSize, so in the
+// concatenated order every block except the final partial one holds exactly
+// tileSize points and starts on a tile boundary — each covariance tile then
+// covers exactly one compact spatial block.
+func KDBlockPartition(pts []Point, tileSize int) [][]int {
+	if len(pts) == 0 {
+		return nil
+	}
+	if tileSize <= 0 {
+		tileSize = 128
+	}
+	var blocks [][]int
+	kdSplit(pts, IdentityPerm(len(pts)), tileSize, &blocks)
+	return blocks
+}
+
+func kdSplit(pts []Point, idx []int, nb int, blocks *[][]int) {
+	if len(idx) <= nb {
+		*blocks = append(*blocks, idx)
+		return
+	}
+	minX, maxX := pts[idx[0]].X, pts[idx[0]].X
+	minY, maxY := pts[idx[0]].Y, pts[idx[0]].Y
+	for _, i := range idx[1:] {
+		p := pts[i]
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	byX := maxX-minX >= maxY-minY
+	// Total order (split axis, other axis, original index) — the index
+	// tiebreak makes the sort deterministic even with duplicate locations.
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		k1a, k1b, k2a, k2b := pa.X, pb.X, pa.Y, pb.Y
+		if !byX {
+			k1a, k1b, k2a, k2b = pa.Y, pb.Y, pa.X, pb.X
+		}
+		if k1a != k1b {
+			return k1a < k1b
+		}
+		if k2a != k2b {
+			return k2a < k2b
+		}
+		return idx[a] < idx[b]
+	})
+	// Split at a tile-aligned midpoint: the left child gets half the tiles
+	// (rounded down, at least one), keeping every leaf boundary on a
+	// multiple of nb and pushing the single partial block to the far right.
+	nt := (len(idx) + nb - 1) / nb
+	left := (nt / 2) * nb
+	kdSplit(pts, idx[:left], nb, blocks)
+	kdSplit(pts, idx[left:], nb, blocks)
+}
+
+// GenerateClustered produces n locations grouped into nClusters Gaussian
+// blobs (σ = spread) around uniform centers in the unit square — the
+// clustered geometry of the ordering benchmarks, where ordering choice
+// matters most (arXiv:2402.09356). Points are drawn in random cluster order,
+// so the raw ordering interleaves clusters (the adversarial case for tile
+// ranks). Coordinates are clamped to [0, 1]. nClusters <= 0 defaults to 8,
+// spread <= 0 to 0.02.
+func GenerateClustered(n, nClusters int, spread float64, r *rng.Rand) []Point {
+	if n <= 0 {
+		return nil
+	}
+	if nClusters <= 0 {
+		nClusters = 8
+	}
+	if spread <= 0 {
+		spread = 0.02
+	}
+	centers := make([]Point, nClusters)
+	for i := range centers {
+		centers[i] = Point{X: r.Uniform(0.1, 0.9), Y: r.Uniform(0.1, 0.9)}
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[r.Intn(nClusters)]
+		pts[i] = Point{
+			X: clamp(c.X + spread*r.Norm()),
+			Y: clamp(c.Y + spread*r.Norm()),
+		}
+	}
+	return pts
+}

@@ -1,0 +1,324 @@
+package geom
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// testOrderings returns every registered ordering, parameterized the way the
+// library defaults would build them.
+func testOrderings(nb int) []Ordering {
+	return []Ordering{None, Morton, Hilbert, KDBlocks(nb)}
+}
+
+func assertBijection(t *testing.T, name string, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("%s: perm length %d, want %d", name, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("%s: perm is not a bijection (index %d)", name, p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestOrderingsAreBijections: every ordering returns a valid permutation on
+// uniform, clustered, duplicate-heavy and degenerate (collinear) geometries.
+func TestOrderingsAreBijections(t *testing.T) {
+	r := rng.New(11)
+	dup := make([]Point, 300)
+	for i := range dup {
+		dup[i] = Point{X: 0.25, Y: 0.75} // all identical
+	}
+	line := make([]Point, 257)
+	for i := range line {
+		line[i] = Point{X: float64(i) / 256, Y: 0.5} // zero Y extent
+	}
+	cases := map[string][]Point{
+		"uniform":   GeneratePerturbedGrid(1000, r),
+		"clustered": GenerateClustered(1000, 8, 0.02, r),
+		"duplicate": dup,
+		"collinear": line,
+		"single":    {{X: 0.5, Y: 0.5}},
+	}
+	for geomName, pts := range cases {
+		for _, ord := range testOrderings(64) {
+			assertBijection(t, geomName+"/"+ord.Name(), ord.Permutation(pts), len(pts))
+		}
+	}
+	for _, ord := range testOrderings(64) {
+		if got := ord.Permutation(nil); len(got) != 0 {
+			t.Fatalf("%s: empty input returned %d indices", ord.Name(), len(got))
+		}
+	}
+}
+
+// TestOrderingsDeterministicConcurrent: permutations are bitwise identical no
+// matter how many goroutines compute them concurrently (run under -race by
+// make verify) — the property that lets a retried tile see the same ordering.
+func TestOrderingsDeterministicConcurrent(t *testing.T) {
+	r := rng.New(12)
+	pts := GenerateClustered(2000, 10, 0.03, r)
+	for _, ord := range testOrderings(128) {
+		ref := ord.Permutation(pts)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got := ord.Permutation(pts)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Errorf("%s: concurrent permutation diverged at %d", ord.Name(), i)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestMortonResolutionBeyond16Bits is the regression test for the 16-bit
+// quantization bug: two points 2⁻²⁰ of the bounding box apart must receive
+// distinct Morton codes. The old 16-bit interleave aliased them onto one
+// code, so the stable sort left them in input order.
+func TestMortonResolutionBeyond16Bits(t *testing.T) {
+	delta := math.Ldexp(1, -20) // resolvable at 32 bits/axis, aliased at 16
+	pts := []Point{
+		{X: delta, Y: 0}, // just after the origin on the curve
+		{X: 0, Y: 0},     // the origin: must sort first
+		{X: 1, Y: 1},     // pins the bounding box to the unit square
+	}
+	perm := MortonOrder(pts)
+	if perm[0] != 1 || perm[1] != 0 {
+		t.Fatalf("sub-16-bit displacement not resolved: perm=%v (16-bit aliasing regression)", perm)
+	}
+}
+
+// TestMortonClusterLocality: a tight cluster inside a large bounding box —
+// the geometry the 16-bit code collapsed to input order — must still be
+// ordered locally within the cluster.
+func TestMortonClusterLocality(t *testing.T) {
+	r := rng.New(13)
+	n := 2048
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 1}} // box-pinning outliers
+	for i := 0; i < n; i++ {
+		// Cluster of width 1e-5: fully aliased by a 16-bit grid (resolution
+		// 1.5e-5 over the unit box), resolved to ~44 bits of code by 32.
+		pts = append(pts, Point{
+			X: 0.5 + 1e-5*r.Float64(),
+			Y: 0.5 + 1e-5*r.Float64(),
+		})
+	}
+	ordered := Sorted(Morton, pts)
+	// The corners sort to the curve's extremes; ordered[1:n+1] is the
+	// cluster. Walk it and compare against the raw (random) cluster order —
+	// the corner jumps are excluded from both sides so they can't mask the
+	// cluster-internal behavior.
+	walk := func(ps []Point) float64 {
+		var s float64
+		for i := 1; i < len(ps); i++ {
+			s += Distance(Euclidean, ps[i-1], ps[i])
+		}
+		return s
+	}
+	hop := walk(ordered[1 : len(ordered)-1])
+	rawHop := walk(pts[2:])
+	// The random cluster order walks ~n·(mean pair distance); the Morton
+	// order must be dramatically shorter. 16-bit quantization leaves the
+	// cluster in input order and fails this bound.
+	if hop >= rawHop/4 {
+		t.Fatalf("morton ordering lost locality inside cluster: ordered hops %g, raw hops %g", hop, rawHop)
+	}
+}
+
+// TestHilbertAdjacency: on an exact 2^k×2^k grid, consecutive points of the
+// Hilbert order are edge-adjacent cells (distance exactly one cell) — the
+// defining property of the curve, and the locality Z-order lacks.
+func TestHilbertAdjacency(t *testing.T) {
+	const m = 16
+	pts := GenerateGrid(m)
+	ordered := Sorted(Hilbert, pts)
+	cell := 1.0 / m
+	for i := 1; i < len(ordered); i++ {
+		d := Distance(Euclidean, ordered[i-1], ordered[i])
+		if math.Abs(d-cell) > 1e-9 {
+			t.Fatalf("hilbert step %d jumps %.6f (want one cell %.6f): %+v -> %+v",
+				i, d, cell, ordered[i-1], ordered[i])
+		}
+	}
+}
+
+// TestHilbertBeatsMortonOnDiagonalJumps: total curve length of the Hilbert
+// order never exceeds Morton's on a grid (Z-order pays long diagonal jumps
+// at quadrant boundaries).
+func TestHilbertBeatsMortonOnDiagonalJumps(t *testing.T) {
+	pts := GenerateGrid(32)
+	walk := func(ord Ordering) float64 {
+		o := Sorted(ord, pts)
+		var s float64
+		for i := 1; i < len(o); i++ {
+			s += Distance(Euclidean, o[i-1], o[i])
+		}
+		return s
+	}
+	h, z := walk(Hilbert), walk(Morton)
+	if h >= z {
+		t.Fatalf("hilbert walk %g not shorter than morton %g", h, z)
+	}
+}
+
+// TestKDBlockPartitionTileAligned: leaves are contiguous in the emitted
+// order, every block except the last holds exactly tileSize points (so every
+// boundary lands on a tile edge), and together they cover all indices.
+func TestKDBlockPartitionTileAligned(t *testing.T) {
+	r := rng.New(14)
+	for _, tc := range []struct {
+		name string
+		pts  []Point
+		nb   int
+	}{
+		{"uniform-exact", GeneratePerturbedGrid(1024, r), 128},
+		{"uniform-ragged", GeneratePerturbedGrid(1000, r), 128},
+		{"clustered", GenerateClustered(777, 6, 0.02, r), 64},
+		{"tiny", GeneratePerturbedGrid(10, r), 4},
+	} {
+		blocks := KDBlockPartition(tc.pts, tc.nb)
+		total := 0
+		seen := make([]bool, len(tc.pts))
+		for bi, b := range blocks {
+			if len(b) == 0 || len(b) > tc.nb {
+				t.Fatalf("%s: block %d has %d points (tile %d)", tc.name, bi, len(b), tc.nb)
+			}
+			if bi < len(blocks)-1 && len(b) != tc.nb {
+				t.Fatalf("%s: non-final block %d has %d points, want exactly %d (tile alignment)",
+					tc.name, bi, len(b), tc.nb)
+			}
+			for _, idx := range b {
+				if seen[idx] {
+					t.Fatalf("%s: index %d in two blocks", tc.name, idx)
+				}
+				seen[idx] = true
+				total++
+			}
+		}
+		if total != len(tc.pts) {
+			t.Fatalf("%s: blocks cover %d of %d points", tc.name, total, len(tc.pts))
+		}
+		// The permutation is the concatenation of the blocks.
+		perm := KDBlockOrder(tc.pts, tc.nb)
+		assertBijection(t, tc.name, perm, len(tc.pts))
+		k := 0
+		for _, b := range blocks {
+			for _, idx := range b {
+				if perm[k] != idx {
+					t.Fatalf("%s: perm[%d]=%d, blocks say %d — leaves not contiguous", tc.name, k, perm[k], idx)
+				}
+				k++
+			}
+		}
+	}
+}
+
+// TestKDBlocksAreCompact: each KD block's bounding-box diameter is well below
+// the global diameter — blocks are spatial neighborhoods, not arbitrary index
+// ranges.
+func TestKDBlocksAreCompact(t *testing.T) {
+	r := rng.New(15)
+	pts := GeneratePerturbedGrid(1024, r)
+	blocks := KDBlockPartition(pts, 64) // 16 blocks over the unit square
+	for bi, b := range blocks {
+		minX, maxX := pts[b[0]].X, pts[b[0]].X
+		minY, maxY := pts[b[0]].Y, pts[b[0]].Y
+		for _, i := range b[1:] {
+			minX = math.Min(minX, pts[i].X)
+			maxX = math.Max(maxX, pts[i].X)
+			minY = math.Min(minY, pts[i].Y)
+			maxY = math.Max(maxY, pts[i].Y)
+		}
+		diam := math.Hypot(maxX-minX, maxY-minY)
+		// 16 recursive-bisection blocks of a uniform unit square: each spans
+		// about 1/4 x 1/4; anything approaching the full diagonal means the
+		// split recursed on index ranges, not space.
+		if diam > 0.75 {
+			t.Fatalf("block %d spans %.3f of the unit square — not spatially compact", bi, diam)
+		}
+	}
+}
+
+// TestNewOrderingRegistry: every advertised name resolves, resolves to the
+// advertised name, and unknown names error.
+func TestNewOrderingRegistry(t *testing.T) {
+	for _, name := range OrderingNames() {
+		ord, err := NewOrdering(name, 32)
+		if err != nil {
+			t.Fatalf("NewOrdering(%q): %v", name, err)
+		}
+		if ord.Name() != name {
+			t.Fatalf("NewOrdering(%q).Name() = %q", name, ord.Name())
+		}
+	}
+	if _, err := NewOrdering("zcurve", 0); err == nil {
+		t.Fatal("unknown ordering must error")
+	}
+}
+
+// TestInversePermRoundTrip: InversePerm inverts, and applying perm then its
+// inverse restores the original sequence.
+func TestInversePermRoundTrip(t *testing.T) {
+	r := rng.New(16)
+	pts := GeneratePerturbedGrid(300, r)
+	for _, ord := range testOrderings(32) {
+		perm := ord.Permutation(pts)
+		inv := InversePerm(perm)
+		for i := range perm {
+			if inv[perm[i]] != i {
+				t.Fatalf("%s: inverse wrong at %d", ord.Name(), i)
+			}
+		}
+		back := ApplyPerm(ApplyPerm(pts, perm), inv)
+		for i := range pts {
+			if back[i] != pts[i] {
+				t.Fatalf("%s: perm∘inv not identity at %d", ord.Name(), i)
+			}
+		}
+	}
+}
+
+// TestSortedMatchesApplyPerm: the helper is exactly the two-call idiom it
+// replaces.
+func TestSortedMatchesApplyPerm(t *testing.T) {
+	r := rng.New(17)
+	pts := GeneratePerturbedGrid(200, r)
+	want := ApplyPerm(pts, MortonOrder(pts))
+	got := Sorted(Morton, pts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted diverges from ApplyPerm(MortonOrder) at %d", i)
+		}
+	}
+}
+
+// TestGenerateClustered: count, unit-square bounds, determinism.
+func TestGenerateClustered(t *testing.T) {
+	a := GenerateClustered(500, 8, 0.02, rng.New(9))
+	b := GenerateClustered(500, 8, 0.02, rng.New(9))
+	if len(a) != 500 {
+		t.Fatalf("got %d points", len(a))
+	}
+	for i, p := range a {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point %d outside unit square: %+v", i, p)
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different clustered points")
+		}
+	}
+}
