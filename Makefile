@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench clean
+.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench serve servebench clean
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,17 @@ chaosbench:
 # factorization makespan, per-rank comm bytes, cross-ordering agreement).
 orderbench:
 	$(GO) run ./cmd/paperbench -order BENCH_order.json
+
+# serve runs the kriging service (cmd/exaserve) on :8080.
+serve:
+	$(GO) run ./cmd/exaserve -addr :8080
+
+# servebench regenerates the kriging-service load-test snapshot: boots
+# exaserve in-process, fires 10k concurrent predicts through the Go client,
+# reports exact p50/p99 latency, predictions/sec, bitwise agreement with the
+# direct Session computation, and the one-factorization evidence counters.
+servebench:
+	$(GO) run ./cmd/paperbench -serve BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

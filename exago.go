@@ -91,6 +91,13 @@ type Session = core.Session
 // NewSession validates cfg and builds a reusable Session for p.
 func NewSession(p *Problem, cfg Config) (*Session, error) { return core.NewSession(p, cfg) }
 
+// ErrSessionBusy reports concurrent entry into a Session, which is not safe
+// for concurrent use: overlapping calls are detected by an atomic guard and
+// fail with this error (wrapped; test with errors.Is) instead of corrupting
+// the shared evaluator state. Serialize calls — or run the serving layer
+// (cmd/exaserve), whose per-model workers do it for you.
+var ErrSessionBusy = core.ErrSessionBusy
+
 // FitOptions, FitResult and LikResult re-export the estimation types.
 type (
 	FitOptions = core.FitOptions

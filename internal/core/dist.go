@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/cov"
+	"repro/internal/geom"
 	"repro/internal/la"
 	"repro/internal/mpi"
 	"repro/internal/tlr"
@@ -91,6 +92,7 @@ func newDistEvaluator(p *Problem, cfg Config, inj *chaos.Injector) (*distEvaluat
 func (e *distEvaluator) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi.Comm, d *mpi.DistTLR) error) error {
 	cur := nugget
 	for attempt := 0; ; attempt++ {
+		cntFactorRuns.Inc()
 		errs := e.world.Run(func(c *mpi.Comm) error {
 			if e.inj != nil {
 				e.inj.RankFault(c.Rank())
@@ -282,6 +284,36 @@ func (e *distEvaluator) halfSolve(k *cov.Kernel, nugget float64, w *la.Mat, y []
 	w.CopyFrom(replicas[0].w)
 	copy(y, replicas[0].y)
 	return nil
+}
+
+// halfSolveChunked is the bounded-memory prediction-variance pair: it factors
+// once, forward-solves y = L⁻¹·Z₂ on every rank, then assembles and
+// forward-solves Σ₂₁ one TileSize-wide column block at a time — each rank
+// holds one n×chunk block instead of the full n×m W. Every rank computes an
+// identical replica; rank 0 hands each solved block to visit (called
+// sequentially, with the block's starting column) so the caller can
+// accumulate means and norms without the blocks ever coexisting.
+func (e *distEvaluator) halfSolveChunked(k *cov.Kernel, nugget float64, newPts []geom.Point, chunk int, y []float64, visit func(col int, w *la.Mat, y []float64)) error {
+	n := e.p.N()
+	m := len(newPts)
+	return e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
+		yr := append([]float64(nil), y...)
+		if err := d.ForwardSolve(c, yr); err != nil {
+			return err
+		}
+		for c0 := 0; c0 < m; c0 += chunk {
+			c1 := min(c0+chunk, m)
+			w := la.NewMat(n, c1-c0)
+			k.Block(w, e.p.Points, newPts[c0:c1], e.p.Metric)
+			if err := d.ForwardSolveMat(c, w); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				visit(c0, w, yr)
+			}
+		}
+		return nil
+	})
 }
 
 // CommStats returns the per-rank cumulative traffic of the distributed

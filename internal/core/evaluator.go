@@ -34,6 +34,11 @@ var (
 	cntNuggetEscalated = obs.GetCounter("core.nugget.escalated")
 )
 
+// cntFactorRuns counts actual factorization executions (assembly + Cholesky)
+// across both backends. The serving regression "predict-many after fit-once
+// factors exactly once" is asserted against this counter.
+var cntFactorRuns = obs.GetCounter("core.factor.runs")
+
 // maxNuggetEscalations bounds the diagonal-regularization ladder: after this
 // many ×NuggetEscalation steps a breakdown is reported, not papered over.
 const maxNuggetEscalations = 3
@@ -87,6 +92,12 @@ type evaluator struct {
 	tg    *runtime.Graph // fused generate+compress + factorization DAG
 
 	y []float64 // rhs scratch
+
+	// gen counts factorization executions. Factors returned by factorize
+	// alias the cached buffers above, so a factor is valid only while gen is
+	// unchanged — Session's predict cache compares generations before
+	// reusing one across calls.
+	gen uint64
 
 	// trace switches graph executions to ExecuteTraced; lastTrace keeps the
 	// most recent execution's trace for Session.Metrics. FullBlock has no
@@ -149,6 +160,8 @@ func (e *evaluator) factorize(k *cov.Kernel, nugget float64) (Factor, error) {
 // factorizeOnce assembles and factors Σ for the given kernel and nugget,
 // reusing cached state where the mode allows it.
 func (e *evaluator) factorizeOnce(k *cov.Kernel, nugget float64) (Factor, error) {
+	e.gen++
+	cntFactorRuns.Inc()
 	n := e.p.N()
 	switch e.cfg.Mode {
 	case FullBlock:

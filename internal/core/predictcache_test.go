@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+// TestPredictCacheSingleFactorization is the serving-hot-path regression:
+// repeated predicts at one θ must factor exactly once, with every further
+// call answered from the session's solve-vector cache.
+func TestPredictCacheSingleFactorization(t *testing.T) {
+	for _, mode := range []Mode{FullBlock, FullTile, TLR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			syn, err := GenerateSynthetic(300, 20, theta(), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSession(syn.Train, Config{Mode: mode, TileSize: 64, Accuracy: 1e-9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Predict(syn.Train, syn.TestPoints, theta(), Config{Mode: mode, TileSize: 64, Accuracy: 1e-9})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			runs0 := cntFactorRuns.Value()
+			hits0 := cntPredictCacheHit.Value()
+			const repeats = 5
+			for rep := 0; rep < repeats; rep++ {
+				got, err := s.Predict(syn.TestPoints, theta())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("repeat %d: prediction %d = %g, want %g", rep, i, got[i], want[i])
+					}
+				}
+			}
+			if runs := cntFactorRuns.Value() - runs0; runs != 1 {
+				t.Fatalf("%d factorizations across %d predicts at one θ, want exactly 1", runs, repeats)
+			}
+			if hits := cntPredictCacheHit.Value() - hits0; hits != repeats-1 {
+				t.Fatalf("%d cache hits, want %d", hits, repeats-1)
+			}
+		})
+	}
+}
+
+// TestPredictCacheKeyedByTheta checks the cache misses when θ or the nugget
+// changes and the new key's predictions are correct (no stale reuse).
+func TestPredictCacheKeyedByTheta(t *testing.T) {
+	syn, err := GenerateSynthetic(240, 15, theta(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: FullBlock}
+	s, err := NewSession(syn.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1 := theta()
+	th2 := cov.Params{Variance: th1.Variance * 2, Range: th1.Range, Smoothness: th1.Smoothness}
+
+	runs0 := cntFactorRuns.Value()
+	got1, err := s.Predict(syn.TestPoints, th1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := s.Predict(syn.TestPoints, th2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := cntFactorRuns.Value() - runs0; runs != 2 {
+		t.Fatalf("%d factorizations for two distinct θ, want 2", runs)
+	}
+	want1, err := Predict(syn.Train, syn.TestPoints, th1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := Predict(syn.Train, syn.TestPoints, th2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want1 {
+		if got1[i] != want1[i] || got2[i] != want2[i] {
+			t.Fatalf("prediction %d stale after θ switch: got (%g, %g) want (%g, %g)",
+				i, got1[i], got2[i], want1[i], want2[i])
+		}
+	}
+}
+
+// TestPredictCacheSurvivesInterleavedEval checks the solve-vector reuse is
+// not fooled by an interleaved likelihood evaluation at another θ: the
+// cached vector (a private copy) stays valid, while the cached factor
+// (which aliases evaluator buffers the evaluation overwrote) is discarded.
+func TestPredictCacheSurvivesInterleavedEval(t *testing.T) {
+	syn, err := GenerateSynthetic(240, 15, theta(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(syn.Train, Config{Mode: FullBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := theta()
+	other := cov.Params{Variance: 3, Range: 0.2, Smoothness: 1}
+
+	first, err := s.Predict(syn.TestPoints, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LogLikelihood(other); err != nil {
+		t.Fatal(err)
+	}
+	runs0 := cntFactorRuns.Value()
+	again, err := s.Predict(syn.TestPoints, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := cntFactorRuns.Value() - runs0; runs != 0 {
+		t.Fatalf("cached solve vector not reused after interleaved evaluation (%d factorizations)", runs)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("prediction %d changed across interleaved evaluation: %g vs %g", i, first[i], again[i])
+		}
+	}
+
+	// The variance path needs the factor, which the interleaved evaluation
+	// invalidated — it must refactorize rather than reuse stale buffers.
+	pv, err := s.PredictWithVariance(syn.TestPoints, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PredictWithVariance(syn.Train, syn.TestPoints, th, Config{Mode: FullBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Mean {
+		if pv.Mean[i] != want.Mean[i] || pv.Variance[i] != want.Variance[i] {
+			t.Fatalf("variance path %d stale after invalidation", i)
+		}
+	}
+}
+
+// TestPredictThenVarianceSharesFactorization checks the two predict flavors
+// share one factorization at a fixed θ in either order.
+func TestPredictThenVarianceSharesFactorization(t *testing.T) {
+	syn, err := GenerateSynthetic(240, 15, theta(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := theta()
+	for _, firstMean := range []bool{true, false} {
+		s, err := NewSession(syn.Train, Config{Mode: FullBlock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs0 := cntFactorRuns.Value()
+		if firstMean {
+			if _, err := s.Predict(syn.TestPoints, th); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.PredictWithVariance(syn.TestPoints, th); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := s.PredictWithVariance(syn.TestPoints, th); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Predict(syn.TestPoints, th); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if runs := cntFactorRuns.Value() - runs0; runs != 1 {
+			t.Fatalf("mean+variance predicts at one θ (mean first: %v) took %d factorizations, want 1", firstMean, runs)
+		}
+	}
+}
+
+// unchunkedPredictWithVariance is the pre-chunking reference implementation:
+// one dense n×m W solved in a single HalfSolveMat.
+func unchunkedPredictWithVariance(t *testing.T, p *Problem, newPts []geom.Point, th cov.Params, cfg Config) Prediction {
+	t.Helper()
+	f, err := Factorize(p, th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cov.NewKernel(th)
+	n, m := p.N(), len(newPts)
+	w := la.NewMat(n, m)
+	k.Block(w, p.Points, newPts, p.Metric)
+	f.HalfSolveMat(w)
+	y := append([]float64(nil), p.Z...)
+	f.HalfSolve(y)
+	pr := Prediction{Mean: make([]float64, m), Variance: make([]float64, m)}
+	c0 := k.At(0)
+	for i := 0; i < m; i++ {
+		var mean, norm2 float64
+		for r := 0; r < n; r++ {
+			wi := w.At(r, i)
+			mean += wi * y[r]
+			norm2 += wi * wi
+		}
+		pr.Mean[i] = mean
+		v := c0 - norm2
+		if v < 0 {
+			v = 0
+		}
+		pr.Variance[i] = v
+	}
+	return pr
+}
+
+// TestPredictWithVarianceChunkedBitwise checks the column-block variance
+// path reproduces the one-shot n×m computation bit for bit in every mode,
+// with the request spanning several partial and full chunks.
+func TestPredictWithVarianceChunkedBitwise(t *testing.T) {
+	syn, err := GenerateSynthetic(300, 0, theta(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 75 query points against TileSize 32: two full chunks plus a remainder.
+	qpts := geom.GeneratePerturbedGrid(75, rng.New(12))
+	th := theta()
+	for _, mode := range []Mode{FullBlock, FullTile, TLR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{Mode: mode, TileSize: 32, Accuracy: 1e-9}
+			want := unchunkedPredictWithVariance(t, syn.Train, qpts, th, cfg)
+			got, err := PredictWithVariance(syn.Train, qpts, th, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Mean {
+				if got.Mean[i] != want.Mean[i] {
+					t.Fatalf("mean %d: chunked %v unchunked %v (diff %g)", i, got.Mean[i], want.Mean[i], got.Mean[i]-want.Mean[i])
+				}
+				if got.Variance[i] != want.Variance[i] {
+					t.Fatalf("variance %d: chunked %v unchunked %v", i, got.Variance[i], want.Variance[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPredictWithVarianceChunkedDistributed checks the bounded-memory
+// distributed variance path (factor once, solve per column block) against
+// the shared-memory result across multiple chunks.
+func TestPredictWithVarianceChunkedDistributed(t *testing.T) {
+	syn, err := GenerateSynthetic(256, 0, theta(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpts := geom.GeneratePerturbedGrid(150, rng.New(14))
+	th := theta()
+	base := Config{Mode: TLR, TileSize: 64, Accuracy: 1e-7}
+	want, err := PredictWithVariance(syn.Train, qpts, th, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Ranks = 4
+	got, err := PredictWithVariance(syn.Train, qpts, th, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Mean {
+		if math.Abs(got.Mean[i]-want.Mean[i]) > 1e-8 {
+			t.Fatalf("mean %d: distributed %g shared %g", i, got.Mean[i], want.Mean[i])
+		}
+		if math.Abs(got.Variance[i]-want.Variance[i]) > 1e-8 {
+			t.Fatalf("variance %d: distributed %g shared %g", i, got.Variance[i], want.Variance[i])
+		}
+	}
+}
+
+// TestSessionConcurrentEntryFails pins the in-use guard contract: a second
+// goroutine entering a busy session gets ErrSessionBusy, never corruption.
+func TestSessionConcurrentEntryFails(t *testing.T) {
+	syn, err := GenerateSynthetic(200, 10, theta(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(syn.Train, Config{Mode: FullBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic: hold the guard and watch every entry point refuse.
+	if !s.inUse.CompareAndSwap(0, 1) {
+		t.Fatal("fresh session not idle")
+	}
+	if _, err := s.Predict(syn.TestPoints, theta()); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("Predict on busy session: %v, want ErrSessionBusy", err)
+	}
+	if _, err := s.PredictWithVariance(syn.TestPoints, theta()); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("PredictWithVariance on busy session: %v, want ErrSessionBusy", err)
+	}
+	if _, err := s.LogLikelihood(theta()); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("LogLikelihood on busy session: %v, want ErrSessionBusy", err)
+	}
+	if _, _, err := s.ProfiledLogLikelihood(0.1, 0.5); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("ProfiledLogLikelihood on busy session: %v, want ErrSessionBusy", err)
+	}
+	if _, err := s.Fit(FitOptions{}); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("Fit on busy session: %v, want ErrSessionBusy", err)
+	}
+	if _, err := s.ProfiledFit(FitOptions{}); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("ProfiledFit on busy session: %v, want ErrSessionBusy", err)
+	}
+	s.release()
+
+	// The session works again once the guard is released.
+	if _, err := s.Predict(syn.TestPoints, theta()); err != nil {
+		t.Fatalf("Predict after release: %v", err)
+	}
+}
+
+// TestSessionConcurrentPredictRace hammers one session from many goroutines
+// under the race detector: every call must either succeed with correct
+// results or fail with ErrSessionBusy — no third outcome, no data race.
+func TestSessionConcurrentPredictRace(t *testing.T) {
+	syn, err := GenerateSynthetic(200, 10, theta(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: FullBlock}
+	s, err := NewSession(syn.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Predict(syn.Train, syn.TestPoints, theta(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var successes, busies atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				got, err := s.Predict(syn.TestPoints, theta())
+				switch {
+				case err == nil:
+					successes.Add(1)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("concurrent prediction %d corrupted: %g want %g", i, got[i], want[i])
+							return
+						}
+					}
+				case errors.Is(err, ErrSessionBusy):
+					busies.Add(1)
+				default:
+					t.Errorf("unexpected error under concurrency: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if successes.Load() == 0 {
+		t.Fatal("no concurrent predict ever succeeded")
+	}
+	t.Logf("concurrent predicts: %d succeeded, %d refused busy", successes.Load(), busies.Load())
+}

@@ -140,6 +140,35 @@ func TestPredictWithVarianceEdgeCases(t *testing.T) {
 	}
 }
 
+func TestCI95ZeroVariance(t *testing.T) {
+	pr := Prediction{Mean: []float64{2, 3}, Variance: []float64{0, 0.25}}
+	if w := pr.CI95(0); w != 0 {
+		t.Fatalf("zero variance must give a zero-width interval, got %g", w)
+	}
+	if w := pr.CI95(1); math.Abs(w-1.96*0.5) > 1e-15 {
+		t.Fatalf("CI95 half-width %g, want %g", w, 1.96*0.5)
+	}
+	// A zero-variance interval covers exactly the truths equal to the mean.
+	frac, err := CoverageCheck(pr, []float64{2, 3})
+	if err != nil || frac != 1 {
+		t.Fatalf("exact truths must be covered: frac=%g err=%v", frac, err)
+	}
+	frac, err = CoverageCheck(pr, []float64{2.0001, 3})
+	if err != nil || frac != 0.5 {
+		t.Fatalf("zero-variance interval must miss a perturbed truth: frac=%g err=%v", frac, err)
+	}
+}
+
+func TestCoverageCheckLengthMismatch(t *testing.T) {
+	pr := Prediction{Mean: []float64{1, 2}, Variance: []float64{1, 1}}
+	if _, err := CoverageCheck(pr, []float64{1}); err == nil {
+		t.Fatal("shorter truth must error")
+	}
+	if _, err := CoverageCheck(pr, []float64{1, 2, 3}); err == nil {
+		t.Fatal("longer truth must error")
+	}
+}
+
 func TestProfiledLikelihoodMatchesFull(t *testing.T) {
 	// ℓ_p(θ2, θ3) must equal ℓ(θ̂1, θ2, θ3) at the concentrated variance.
 	p := smallProblem(t, 144, 26)

@@ -1,14 +1,34 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/chaos"
 	"repro/internal/cov"
 	"repro/internal/geom"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/optimize"
+)
+
+// ErrSessionBusy is returned when two goroutines enter a Session at once.
+// A Session is not safe for concurrent use — its evaluations share cached
+// buffers — and instead of silently corrupting them the entry points detect
+// the overlap and fail. Callers that need concurrency put a serializing
+// worker in front of the session (internal/serve does exactly that and
+// relies on this guard to prove its serialization holds).
+var ErrSessionBusy = errors.New("core: Session is not safe for concurrent use; serialize calls")
+
+// Predict solve-cache counters: each Predict/PredictWithVariance either
+// reuses the session's cached kriging solve state for its (θ, nugget) key
+// (hit) or factors and solves anew (miss). A fit-once/predict-many workload
+// should show misses only on the first prediction per θ.
+var (
+	cntPredictCacheHit  = obs.GetCounter("core.predict.cache.hit")
+	cntPredictCacheMiss = obs.GetCounter("core.predict.cache.miss")
 )
 
 // Session owns the cached per-problem state that repeated likelihood
@@ -23,6 +43,8 @@ import (
 //
 // A Session is NOT safe for concurrent use: evaluations share cached
 // buffers, and results of one call may be invalidated by the next.
+// Concurrent entry is detected by an atomic in-use guard and fails with
+// ErrSessionBusy instead of corrupting state.
 type Session struct {
 	p   *Problem
 	cfg Config // validated and normalized
@@ -31,6 +53,34 @@ type Session struct {
 
 	ev  *evaluator     // shared-memory backend (Ranks == 1)
 	dev *distEvaluator // distributed backend (Ranks > 1)
+
+	// inUse is the concurrent-entry guard: 0 idle, 1 inside a public
+	// evaluation method.
+	inUse atomic.Int32
+
+	// pred caches the kriging solve state across Predict /
+	// PredictWithVariance calls at an unchanged (θ, nugget) — the
+	// fit-once/predict-many serving workload pays one factorization for the
+	// first prediction and O(m·n) for every one after.
+	pred predictCache
+}
+
+// predictCache is the solve state Predict and PredictWithVariance share,
+// keyed by the (θ, nugget) pair it was computed for. yFull and yHalf are
+// private copies and stay valid indefinitely; factor aliases the evaluator's
+// cached buffers and is only reusable while the evaluator's factorization
+// generation is unchanged (any interleaved evaluation at another θ
+// invalidates it — the generation comparison catches that).
+type predictCache struct {
+	valid  bool
+	theta  cov.Params
+	nugget float64
+
+	yFull []float64 // Σ₂₂⁻¹·Z₂ (Predict's weights)
+	yHalf []float64 // L⁻¹·Z₂ (PredictWithVariance's half-solved rhs)
+
+	factor Factor // shared-memory only; nil on the distributed backend
+	gen    uint64 // evaluator generation factor was produced at
 }
 
 // NewSession validates cfg, normalizes its zero fields to the documented
@@ -88,9 +138,28 @@ func (s *Session) Config() Config { return s.cfg }
 // the Problem passed to NewSession.
 func (s *Session) Problem() *Problem { return s.p }
 
+// acquire takes the session's in-use guard or reports concurrent entry.
+func (s *Session) acquire(op string) error {
+	if !s.inUse.CompareAndSwap(0, 1) {
+		return fmt.Errorf("core: %s: %w", op, ErrSessionBusy)
+	}
+	return nil
+}
+
+// release returns the session to idle.
+func (s *Session) release() { s.inUse.Store(0) }
+
 // LogLikelihood evaluates ℓ(θ) (paper eq. 1), reusing the session's cached
 // state across calls.
 func (s *Session) LogLikelihood(theta cov.Params) (LikResult, error) {
+	if err := s.acquire("LogLikelihood"); err != nil {
+		return LikResult{}, err
+	}
+	defer s.release()
+	return s.logLikelihood(theta)
+}
+
+func (s *Session) logLikelihood(theta cov.Params) (LikResult, error) {
 	if s.dev != nil {
 		return s.dev.logLikelihood(theta)
 	}
@@ -100,6 +169,14 @@ func (s *Session) LogLikelihood(theta cov.Params) (LikResult, error) {
 // ProfiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃)
 // (see the package-level ProfiledLogLikelihood for the formulation).
 func (s *Session) ProfiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
+	if err := s.acquire("ProfiledLogLikelihood"); err != nil {
+		return 0, 0, err
+	}
+	defer s.release()
+	return s.profiledLogLikelihood(rangeP, smoothness)
+}
+
+func (s *Session) profiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
 	if s.dev != nil {
 		return s.dev.profiledLogLikelihood(rangeP, smoothness)
 	}
@@ -111,6 +188,10 @@ func (s *Session) ProfiledLogLikelihood(rangeP, smoothness float64) (logL, varia
 // scales span decades) and linear smoothness. Every objective call reuses
 // the session's cached factorization state.
 func (s *Session) Fit(opts FitOptions) (FitResult, error) {
+	if err := s.acquire("Fit"); err != nil {
+		return FitResult{}, err
+	}
+	defer s.release()
 	o := opts.withDefaults(s.p)
 
 	dim := 3
@@ -135,7 +216,7 @@ func (s *Session) Fit(opts FitOptions) (FitResult, error) {
 
 	var lastErr error
 	obj := func(x []float64) float64 {
-		lik, err := s.LogLikelihood(toTheta(x))
+		lik, err := s.logLikelihood(toTheta(x))
 		if err != nil {
 			lastErr = err
 			return math.Inf(1)
@@ -164,6 +245,10 @@ func (s *Session) Fit(opts FitOptions) (FitResult, error) {
 // ProfiledFit estimates θ̂ via the concentrated likelihood over (θ₂, θ₃),
 // recovering θ̂₁ in closed form (see the package-level ProfiledFit).
 func (s *Session) ProfiledFit(opts FitOptions) (FitResult, error) {
+	if err := s.acquire("ProfiledFit"); err != nil {
+		return FitResult{}, err
+	}
+	defer s.release()
 	o := opts.withDefaults(s.p)
 
 	dim := 2
@@ -182,7 +267,7 @@ func (s *Session) ProfiledFit(opts FitOptions) (FitResult, error) {
 	}
 	var lastErr error
 	obj := func(x []float64) float64 {
-		ll, _, err := s.ProfiledLogLikelihood(math.Exp(x[0]), smoothOf(x))
+		ll, _, err := s.profiledLogLikelihood(math.Exp(x[0]), smoothOf(x))
 		if err != nil {
 			lastErr = err
 			return math.Inf(1)
@@ -202,7 +287,7 @@ func (s *Session) ProfiledFit(opts FitOptions) (FitResult, error) {
 	}
 	rangeHat := math.Exp(res.X[0])
 	smoothHat := smoothOf(res.X)
-	ll, varHat, err := s.ProfiledLogLikelihood(rangeHat, smoothHat)
+	ll, varHat, err := s.profiledLogLikelihood(rangeHat, smoothHat)
 	if err != nil {
 		return FitResult{}, err
 	}
@@ -215,8 +300,15 @@ func (s *Session) ProfiledFit(opts FitOptions) (FitResult, error) {
 }
 
 // Predict imputes measurements at newPts from the fitted model (paper
-// eq. 4): Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂.
+// eq. 4): Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂. The solve vector y = Σ₂₂⁻¹ Z₂ depends only on
+// (θ, nugget), not on newPts, so it is cached on the session: after the
+// first prediction at a θ, every further Predict at that θ is O(m·n) —
+// cross-covariance assembly and dot products, no factorization.
 func (s *Session) Predict(newPts []geom.Point, theta cov.Params) ([]float64, error) {
+	if err := s.acquire("Predict"); err != nil {
+		return nil, err
+	}
+	defer s.release()
 	if err := theta.Validate(); err != nil {
 		return nil, err
 	}
@@ -225,20 +317,9 @@ func (s *Session) Predict(newPts []geom.Point, theta cov.Params) ([]float64, err
 	}
 	p := s.p
 	k := cov.NewKernel(theta)
-	nugget := s.cfg.nugget(theta.Variance)
-
-	// y = Σ22⁻¹ Z2
-	y := append([]float64(nil), p.Z...)
-	if s.dev != nil {
-		if err := s.dev.solve(k, nugget, y); err != nil {
-			return nil, err
-		}
-	} else {
-		f, err := s.ev.factorize(k, nugget)
-		if err != nil {
-			return nil, err
-		}
-		f.Solve(y)
+	y, err := s.solveVector(k, theta, s.cfg.nugget(theta.Variance))
+	if err != nil {
+		return nil, err
 	}
 
 	// Ẑ1 = Σ12 · y, assembled one row at a time to bound memory.
@@ -252,56 +333,147 @@ func (s *Session) Predict(newPts []geom.Point, theta cov.Params) ([]float64, err
 	return out, nil
 }
 
+// solveVector returns the kriging weights y = Σ₂₂⁻¹·Z₂ for (θ, nugget),
+// reusing the session cache when the key matches. The returned slice is
+// owned by the cache; callers must not modify it.
+func (s *Session) solveVector(k *cov.Kernel, theta cov.Params, nugget float64) ([]float64, error) {
+	if s.pred.valid && s.pred.theta == theta && s.pred.nugget == nugget && s.pred.yFull != nil {
+		cntPredictCacheHit.Inc()
+		return s.pred.yFull, nil
+	}
+	// An unexpired factor from PredictWithVariance at the same key still
+	// saves the factorization: run just the solve against it.
+	if f, _, ok := s.cachedFactor(theta, nugget); ok {
+		cntPredictCacheHit.Inc()
+		y := append([]float64(nil), s.p.Z...)
+		f.Solve(y)
+		s.pred.yFull = y
+		return y, nil
+	}
+	cntPredictCacheMiss.Inc()
+	y := append([]float64(nil), s.p.Z...)
+	if s.dev != nil {
+		if err := s.dev.solve(k, nugget, y); err != nil {
+			return nil, err
+		}
+		s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yFull: y}
+		return y, nil
+	}
+	f, err := s.ev.factorize(k, nugget)
+	if err != nil {
+		return nil, err
+	}
+	f.Solve(y)
+	s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yFull: y, factor: f, gen: s.ev.gen}
+	return y, nil
+}
+
+// cachedFactor returns the cached factorization for (θ, nugget) when it is
+// still alive: the key matches and no factorization has run since it was
+// produced (shared-memory backend only — distributed factors live sharded on
+// the ranks and are not cached).
+func (s *Session) cachedFactor(theta cov.Params, nugget float64) (Factor, []float64, bool) {
+	if s.ev == nil || !s.pred.valid || s.pred.factor == nil {
+		return nil, nil, false
+	}
+	if s.pred.theta != theta || s.pred.nugget != nugget || s.pred.gen != s.ev.gen {
+		return nil, nil, false
+	}
+	return s.pred.factor, s.pred.yHalf, true
+}
+
 // PredictWithVariance computes the conditional mean AND variance at newPts
 // (paper eq. 3):
 //
-//	W = L⁻¹·Σ₂₁  (n×m),  y = L⁻¹·Z₂,
+//	W = L⁻¹·Σ₂₁,  y = L⁻¹·Z₂,
 //	mean_i = W[:,i]ᵀ·y,   var_i = C(0) − ‖W[:,i]‖².
+//
+// W is never materialized whole: newPts is processed in TileSize-wide column
+// blocks, so the scratch footprint is n×TileSize however many points are
+// requested — the column-block counterpart of the row-at-a-time discipline
+// Predict uses. The per-column arithmetic is identical to the one-shot n×m
+// solve (forward substitution treats columns independently), so the results
+// are bitwise-equal to the unchunked computation. Like Predict, the
+// factorization is cached by (θ, nugget) on the shared-memory backend.
 func (s *Session) PredictWithVariance(newPts []geom.Point, theta cov.Params) (Prediction, error) {
+	if err := s.acquire("PredictWithVariance"); err != nil {
+		return Prediction{}, err
+	}
+	defer s.release()
 	if err := theta.Validate(); err != nil {
 		return Prediction{}, err
 	}
 	if len(newPts) == 0 {
 		return Prediction{}, nil
 	}
-	p := s.p
-	n := p.N()
 	m := len(newPts)
 	k := cov.NewKernel(theta)
 	nugget := s.cfg.nugget(theta.Variance)
-
-	w := la.NewMat(n, m)
-	k.Block(w, p.Points, newPts, p.Metric)
-	y := append([]float64(nil), p.Z...)
-	if s.dev != nil {
-		if err := s.dev.halfSolve(k, nugget, w, y); err != nil {
-			return Prediction{}, err
-		}
-	} else {
-		f, err := s.ev.factorize(k, nugget)
-		if err != nil {
-			return Prediction{}, err
-		}
-		f.HalfSolveMat(w)
-		f.HalfSolve(y)
-	}
+	chunk := s.cfg.TileSize
 
 	pr := Prediction{Mean: make([]float64, m), Variance: make([]float64, m)}
 	c0 := k.At(0)
-	for i := 0; i < m; i++ {
-		var mean, norm2 float64
-		for r := 0; r < n; r++ {
-			wi := w.At(r, i)
-			mean += wi * y[r]
-			norm2 += wi * wi
+	// accumulate consumes one solved column block starting at column col.
+	accumulate := func(col int, w *la.Mat, y []float64) {
+		n := w.Rows
+		for j := 0; j < w.Cols; j++ {
+			var mean, norm2 float64
+			for r := 0; r < n; r++ {
+				wi := w.At(r, j)
+				mean += wi * y[r]
+				norm2 += wi * wi
+			}
+			pr.Mean[col+j] = mean
+			v := c0 - norm2
+			if v < 0 {
+				// clamp tiny negative values from approximation error
+				v = 0
+			}
+			pr.Variance[col+j] = v
 		}
-		pr.Mean[i] = mean
-		v := c0 - norm2
-		if v < 0 {
-			// clamp tiny negative values from approximation error
-			v = 0
+	}
+
+	if s.dev != nil {
+		if err := s.dev.halfSolveChunked(k, nugget, newPts, chunk, s.p.Z, accumulate); err != nil {
+			return Prediction{}, err
 		}
-		pr.Variance[i] = v
+		return pr, nil
+	}
+
+	f, yHalf, err := s.halfState(k, theta, nugget)
+	if err != nil {
+		return Prediction{}, err
+	}
+	n := s.p.N()
+	for lo := 0; lo < m; lo += chunk {
+		hi := min(lo+chunk, m)
+		w := la.NewMat(n, hi-lo)
+		k.Block(w, s.p.Points, newPts[lo:hi], s.p.Metric)
+		f.HalfSolveMat(w)
+		accumulate(lo, w, yHalf)
 	}
 	return pr, nil
+}
+
+// halfState returns the factorization and half-solved rhs y = L⁻¹·Z₂ for
+// (θ, nugget) on the shared-memory backend, reusing the cache when alive.
+func (s *Session) halfState(k *cov.Kernel, theta cov.Params, nugget float64) (Factor, []float64, error) {
+	if f, yHalf, ok := s.cachedFactor(theta, nugget); ok {
+		cntPredictCacheHit.Inc()
+		if yHalf == nil {
+			yHalf = append([]float64(nil), s.p.Z...)
+			f.HalfSolve(yHalf)
+			s.pred.yHalf = yHalf
+		}
+		return f, yHalf, nil
+	}
+	cntPredictCacheMiss.Inc()
+	f, err := s.ev.factorize(k, nugget)
+	if err != nil {
+		return nil, nil, err
+	}
+	yHalf := append([]float64(nil), s.p.Z...)
+	f.HalfSolve(yHalf)
+	s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yHalf: yHalf, factor: f, gen: s.ev.gen}
+	return f, yHalf, nil
 }

@@ -1,0 +1,305 @@
+package exprt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// ServeBench is the closed-loop load test of the kriging service
+// (`paperbench -serve`, written as BENCH_serve.json): it boots an in-process
+// exaserve instance on a real TCP port, ingests one fixed-θ model, then fires
+// a storm of concurrent predict requests through the Go client over a bounded
+// connection pool. Reported: exact client-side p50/p99 latency, request and
+// prediction throughput, and the two correctness anchors of the serving hot
+// path — every served mean/variance equals the direct Session computation bit
+// for bit, and the whole storm runs zero factorizations (the ingest-time
+// factorization is the only one; obs counters are the evidence).
+
+// ServeLatency summarizes exact client-side request latencies.
+type ServeLatency struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// ServeAcceptance is the pass/fail summary.
+type ServeAcceptance struct {
+	// AllServed: every request ended in 200 or a clean 503 shed, nothing else.
+	AllServed bool `json:"all_served"`
+	// ExactMatch: zero served values differed from the direct computation.
+	ExactMatch bool `json:"exact_match"`
+	// OneFactorization: the storm ran on the ingest-time factorization alone.
+	OneFactorization bool `json:"one_factorization"`
+	Pass             bool `json:"pass"`
+}
+
+// ServeBenchReport is the JSON payload of BENCH_serve.json.
+type ServeBenchReport struct {
+	N           int `json:"n"`           // observations in the served model
+	Concurrency int `json:"concurrency"` // concurrent client goroutines
+	Requests    int `json:"requests"`    // total predict requests issued
+	Batch       int `json:"batch"`       // points per request
+	// VarianceEvery: every k-th request asks for conditional variance too.
+	VarianceEvery int `json:"variance_every"`
+	Conns         int `json:"conns"` // client connection-pool size
+
+	OK     int64 `json:"ok"`
+	Shed   int64 `json:"shed"`   // 503 load-shed replies (clean, retryable)
+	Failed int64 `json:"failed"` // anything else — must be zero
+
+	ElapsedS          float64      `json:"elapsed_s"`
+	RequestsPerSec    float64      `json:"requests_per_sec"`
+	PredictionsPerSec float64      `json:"predictions_per_sec"`
+	Latency           ServeLatency `json:"latency"`
+
+	// Server-side solve-time histogram for the predict endpoint over the
+	// storm only (snapshot diff; power-of-two buckets, so ≤2× quantile error).
+	ServerPredict ServeLatency `json:"server_predict"`
+
+	// Evidence counters, diffed across the storm.
+	FactorRunsStorm int64 `json:"factor_runs_storm"`
+	CacheHitsStorm  int64 `json:"cache_hits_storm"`
+	FactorRunsTotal int64 `json:"factor_runs_total"` // ingest + storm
+	Mismatches      int64 `json:"mismatches"`
+
+	Acceptance ServeAcceptance `json:"acceptance"`
+}
+
+// serveBenchSizes picks the load shape: ≥10k concurrent in-flight requests,
+// one per goroutine, against a pool-size-bounded transport.
+const (
+	serveBenchN       = 1000
+	serveBenchConc    = 10000
+	serveBenchBatch   = 4
+	serveBenchPool    = 512 // candidate query points
+	serveBenchVarMod  = 8   // every 8th request exercises the variance path
+	serveBenchConns   = 256 // client TCP connections (fd budget friendly)
+	serveBenchTimeout = 10 * time.Minute
+)
+
+// ServeBench runs the load test and returns the report.
+func ServeBench(o Options) (*ServeBenchReport, error) {
+	o = o.withDefaults()
+	th := maternRef()
+
+	// Dataset and the direct-computation oracle.
+	r := rng.New(o.Seed)
+	pts := geom.GeneratePerturbedGrid(serveBenchN, r)
+	k := cov.NewKernel(th)
+	z, err := cov.SampleField(k, pts, geom.Euclidean, r.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	queries := geom.GeneratePerturbedGrid(serveBenchPool, rng.New(o.Seed+3))
+
+	problem, err := core.NewProblem(pts, z, geom.Euclidean)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := core.NewSession(problem, core.Config{Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	wantMean, err := oracle.Predict(queries, th)
+	if err != nil {
+		return nil, err
+	}
+	wantVar, err := oracle.PredictWithVariance(queries, th)
+	if err != nil {
+		return nil, err
+	}
+
+	// Boot the service on a loopback port.
+	srv := serve.New(serve.Config{MaxQueue: 2 * serveBenchConns})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	tr := &http.Transport{
+		MaxConnsPerHost:     serveBenchConns,
+		MaxIdleConnsPerHost: serveBenchConns,
+	}
+	c := client.NewWithHTTPClient("http://"+ln.Addr().String(), &http.Client{Transport: tr})
+	ctx, cancel := context.WithTimeout(context.Background(), serveBenchTimeout)
+	defer cancel()
+
+	// Ingest with fixed θ: the only factorization of the whole benchmark.
+	wirePts := make([]client.Point, len(pts))
+	for i, p := range pts {
+		wirePts[i] = client.Point{X: p.X, Y: p.Y}
+	}
+	theta := client.Theta{Variance: th.Variance, Range: th.Range, Smoothness: th.Smoothness}
+	if _, err := c.CreateModel(ctx, client.CreateModelRequest{
+		Name: "bench", Points: wirePts, Z: z, Theta: &theta,
+		Config: client.ModelConfig{Workers: o.Workers},
+	}); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+
+	wireQueries := make([]client.Point, len(queries))
+	for i, p := range queries {
+		wireQueries[i] = client.Point{X: p.X, Y: p.Y}
+	}
+
+	factorRuns := obs.GetCounter("core.factor.runs")
+	cacheHits := obs.GetCounter("core.predict.cache.hit")
+	runs0, hits0 := factorRuns.Value(), cacheHits.Value()
+	pre := obs.Default().Snapshot()
+
+	// The storm: serveBenchConc goroutines, one request each, all in flight
+	// together (closed loop — a goroutine holds its request open until the
+	// reply lands, so concurrency == outstanding requests).
+	var ok, shed, failed, mismatches atomic.Int64
+	latencies := make([]time.Duration, serveBenchConc)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < serveBenchConc; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := (g * serveBenchBatch) % (serveBenchPool - serveBenchBatch)
+			q := wireQueries[lo : lo+serveBenchBatch]
+			withVar := g%serveBenchVarMod == 0
+			start := time.Now()
+			resp, err := c.Predict(ctx, "bench", q, withVar)
+			latencies[g] = time.Since(start)
+			if err != nil {
+				var apiErr *client.APIError
+				if errors.As(err, &apiErr) && apiErr.IsOverload() {
+					shed.Add(1)
+				} else {
+					failed.Add(1)
+				}
+				return
+			}
+			ok.Add(1)
+			// Compare like for like: the variance path computes its mean as
+			// W[:,i]ᵀ·(L⁻¹Z) and the plain path as Σ₁₂·(Σ₂₂⁻¹Z) — equal in
+			// exact arithmetic, distinct floating-point formulas — so each is
+			// checked bitwise against its own direct-Session oracle.
+			for i := 0; i < serveBenchBatch; i++ {
+				if withVar {
+					if resp.Mean[i] != wantVar.Mean[lo+i] || resp.Variance[i] != wantVar.Variance[lo+i] {
+						mismatches.Add(1)
+					}
+				} else if resp.Mean[i] != wantMean[lo+i] {
+					mismatches.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	post := obs.Default().Snapshot().Sub(pre)
+
+	rep := &ServeBenchReport{
+		N: serveBenchN, Concurrency: serveBenchConc, Requests: serveBenchConc,
+		Batch: serveBenchBatch, VarianceEvery: serveBenchVarMod, Conns: serveBenchConns,
+		OK: ok.Load(), Shed: shed.Load(), Failed: failed.Load(),
+		ElapsedS:          elapsed.Seconds(),
+		RequestsPerSec:    float64(ok.Load()) / elapsed.Seconds(),
+		PredictionsPerSec: float64(ok.Load()*serveBenchBatch) / elapsed.Seconds(),
+		Latency:           exactLatency(latencies),
+		FactorRunsStorm:   factorRuns.Value() - runs0,
+		CacheHitsStorm:    cacheHits.Value() - hits0,
+		FactorRunsTotal:   factorRuns.Value(),
+		Mismatches:        mismatches.Load(),
+	}
+	if h, okh := post.Histograms["serve.http.predict.ns"]; okh {
+		rep.ServerPredict = ServeLatency{
+			P50MS:  float64(h.Quantile(0.50)) / 1e6,
+			P90MS:  float64(h.Quantile(0.90)) / 1e6,
+			P99MS:  float64(h.Quantile(0.99)) / 1e6,
+			MeanMS: h.Mean() / 1e6,
+			MaxMS:  float64(h.Max) / 1e6,
+		}
+	}
+	rep.Acceptance = ServeAcceptance{
+		AllServed:        rep.Failed == 0 && rep.OK+rep.Shed == int64(rep.Requests) && rep.OK > 0,
+		ExactMatch:       rep.Mismatches == 0,
+		OneFactorization: rep.FactorRunsStorm == 0,
+	}
+	rep.Acceptance.Pass = rep.Acceptance.AllServed && rep.Acceptance.ExactMatch && rep.Acceptance.OneFactorization
+	return rep, nil
+}
+
+// exactLatency computes exact (unbucketed) quantiles from per-request
+// client-side latencies.
+func exactLatency(ds []time.Duration) ServeLatency {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / 1e6
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	out := ServeLatency{P50MS: at(0.50), P90MS: at(0.90), P99MS: at(0.99)}
+	if n := len(sorted); n > 0 {
+		out.MeanMS = float64(sum) / float64(n) / 1e6
+		out.MaxMS = float64(sorted[n-1]) / 1e6
+	}
+	return out
+}
+
+// WriteServeBench runs ServeBench and writes the JSON report to path,
+// echoing a summary to o.Out.
+func WriteServeBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep, err := ServeBench(o)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "serve bench n=%d concurrency=%d batch=%d conns=%d -> %s\n",
+		rep.N, rep.Concurrency, rep.Batch, rep.Conns, path)
+	fmt.Fprintf(o.Out, "  %d ok, %d shed, %d failed in %.2fs  (%.0f req/s, %.0f predictions/s)\n",
+		rep.OK, rep.Shed, rep.Failed, rep.ElapsedS, rep.RequestsPerSec, rep.PredictionsPerSec)
+	fmt.Fprintf(o.Out, "  latency p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms (client, exact)\n",
+		rep.Latency.P50MS, rep.Latency.P90MS, rep.Latency.P99MS, rep.Latency.MaxMS)
+	fmt.Fprintf(o.Out, "  server predict p50 %.2fms p99 %.2fms (histogram)\n",
+		rep.ServerPredict.P50MS, rep.ServerPredict.P99MS)
+	fmt.Fprintf(o.Out, "  acceptance: all served %v, exact match %v (%d mismatches), one factorization %v (storm ran %d) -> pass=%v\n",
+		rep.Acceptance.AllServed, rep.Acceptance.ExactMatch, rep.Mismatches,
+		rep.Acceptance.OneFactorization, rep.FactorRunsStorm, rep.Acceptance.Pass)
+	return nil
+}

@@ -1,0 +1,539 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/dataio"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// Config bounds the server's resource use. Zero fields take the defaults
+// documented on each field.
+type Config struct {
+	// MaxBatch is the largest point count one predict request may carry
+	// (default 16384; larger batches are rejected with 413).
+	MaxBatch int
+	// MaxQueue caps queued predict requests per model (default 256; beyond
+	// it the server sheds load with 503 instead of buffering unboundedly).
+	MaxQueue int
+	// MaxModels caps registered models (default 64; 429 beyond).
+	MaxModels int
+	// MaxPoints caps observations per ingested model (default 1_000_000;
+	// 413 beyond).
+	MaxPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16384
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxModels == 0 {
+		c.MaxModels = 64
+	}
+	if c.MaxPoints == 0 {
+		c.MaxPoints = 1_000_000
+	}
+	return c
+}
+
+var (
+	errQueueFull   = errors.New("serve: prediction queue full")
+	errModelClosed = errors.New("serve: model deleted")
+)
+
+// nameRE bounds model names to filesystem- and URL-safe tokens.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// predictJob is one prediction request handed to a model's worker.
+type predictJob struct {
+	points       []geom.Point
+	withVariance bool
+	reply        chan predictResult // buffered(1): the worker never blocks
+}
+
+type predictResult struct {
+	mean     []float64
+	variance []float64
+	elapsed  time.Duration
+	err      error
+}
+
+// model is one registered session plus the serializing worker in front of it.
+// All Session calls happen on the worker goroutine; HTTP handlers only
+// enqueue. The queue is closed under qmu so enqueue-after-delete fails with
+// errModelClosed instead of panicking.
+type model struct {
+	info  ModelInfo
+	sess  *core.Session
+	theta cov.Params
+
+	queue   chan *predictJob
+	qmu     sync.Mutex
+	qclosed bool
+	done    chan struct{} // closed when the worker has drained and exited
+
+	predicts atomic.Int64
+}
+
+func (m *model) run() {
+	defer close(m.done)
+	for job := range m.queue {
+		job.reply <- m.do(job)
+	}
+}
+
+func (m *model) do(job *predictJob) predictResult {
+	start := time.Now()
+	if job.withVariance {
+		pr, err := m.sess.PredictWithVariance(job.points, m.theta)
+		if err != nil {
+			return predictResult{err: err}
+		}
+		m.predicts.Add(1)
+		return predictResult{mean: pr.Mean, variance: pr.Variance, elapsed: time.Since(start)}
+	}
+	mean, err := m.sess.Predict(job.points, m.theta)
+	if err != nil {
+		return predictResult{err: err}
+	}
+	m.predicts.Add(1)
+	return predictResult{mean: mean, elapsed: time.Since(start)}
+}
+
+// enqueue hands a job to the worker without blocking: a full queue is load
+// shed (errQueueFull → 503), a closed model reports errModelClosed (404).
+func (m *model) enqueue(job *predictJob) error {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	if m.qclosed {
+		return errModelClosed
+	}
+	select {
+	case m.queue <- job:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// close shuts the queue and waits for the worker to drain pending jobs (each
+// still gets its reply) and exit.
+func (m *model) close() {
+	m.qmu.Lock()
+	if !m.qclosed {
+		m.qclosed = true
+		close(m.queue)
+	}
+	m.qmu.Unlock()
+	<-m.done
+}
+
+func (m *model) snapshot() ModelInfo {
+	info := m.info
+	info.Predicts = m.predicts.Load()
+	return info
+}
+
+// Server is the kriging service: registry, handlers, and limits. Create one
+// with New and mount it (it implements http.Handler).
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu     sync.RWMutex
+	models map[string]*model
+	closed bool
+
+	endpoints []string // instrumented endpoint names, for /metrics
+}
+
+// New builds a server with its routes mounted.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:    cfg.withDefaults(),
+		mux:    http.NewServeMux(),
+		models: map[string]*model{},
+	}
+	s.mux.HandleFunc("POST /models", s.instrument("create", s.handleCreate))
+	s.mux.HandleFunc("GET /models", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("GET /models/{name}", s.instrument("get", s.handleGet))
+	s.mux.HandleFunc("DELETE /models/{name}", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /models/{name}/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close deletes every model and stops their workers. Subsequent creates are
+// rejected; in-flight predicts drain with replies.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	models := make([]*model, 0, len(s.models))
+	for _, m := range s.models {
+		models = append(models, m)
+	}
+	s.models = map[string]*model{}
+	s.mu.Unlock()
+	for _, m := range models {
+		m.close()
+	}
+}
+
+// instrument wraps a handler with a per-endpoint latency histogram
+// ("serve.http.<name>.ns") and request/error counters. Handlers return the
+// HTTP status they wrote so errors are counted exactly.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	hist := obs.GetHistogram("serve.http." + name + ".ns")
+	reqs := obs.GetCounter("serve.http." + name + ".requests")
+	errs := obs.GetCounter("serve.http." + name + ".errors")
+	s.endpoints = append(s.endpoints, name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := h(w, r)
+		hist.ObserveDuration(time.Since(start))
+		reqs.Inc()
+		if status >= 400 {
+			errs.Inc()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	return writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "", core.FullBlock.String():
+		return core.FullBlock, nil
+	case core.FullTile.String():
+		return core.FullTile, nil
+	case core.TLR.String():
+		return core.TLR, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want full-block, full-tile, or tlr)", s)
+}
+
+func toCoreConfig(mc ModelConfig) (core.Config, error) {
+	mode, err := parseMode(mc.Mode)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Mode:           mode,
+		TileSize:       mc.TileSize,
+		Accuracy:       mc.Accuracy,
+		CompressorName: mc.Compressor,
+		Workers:        mc.Workers,
+		Nugget:         mc.Nugget,
+		Ordering:       mc.Ordering,
+		Ranks:          mc.Ranks,
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+func toGeomPoints(pts []Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+func toCovParams(t Theta) cov.Params {
+	return cov.Params{Variance: t.Variance, Range: t.Range, Smoothness: t.Smoothness}
+}
+
+func fromCovParams(p cov.Params) Theta {
+	return Theta{Variance: p.Variance, Range: p.Range, Smoothness: p.Smoothness}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
+	var req CreateModelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	}
+	if !nameRE.MatchString(req.Name) {
+		return writeError(w, http.StatusBadRequest, "invalid model name %q (want %s)", req.Name, nameRE)
+	}
+	if len(req.Points) == 0 {
+		return writeError(w, http.StatusBadRequest, "empty point list")
+	}
+	if len(req.Points) != len(req.Z) {
+		return writeError(w, http.StatusBadRequest, "%d points but %d observations", len(req.Points), len(req.Z))
+	}
+	if len(req.Points) > s.cfg.MaxPoints {
+		return writeError(w, http.StatusRequestEntityTooLarge, "%d observations exceeds the %d limit", len(req.Points), s.cfg.MaxPoints)
+	}
+	metricName := req.Metric
+	if metricName == "" {
+		metricName = "euclidean"
+	}
+	metric, err := dataio.MetricByName(metricName)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	cfg, err := toCoreConfig(req.Config)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "invalid config: %v", err)
+	}
+	if req.Theta != nil {
+		if err := toCovParams(*req.Theta).Validate(); err != nil {
+			return writeError(w, http.StatusBadRequest, "invalid theta: %v", err)
+		}
+	}
+
+	// Reject duplicates and over-capacity before paying for the fit; the
+	// insert below re-checks under the lock, so a racing create of the same
+	// name still gets exactly one winner.
+	s.mu.RLock()
+	_, dup := s.models[req.Name]
+	full := len(s.models) >= s.cfg.MaxModels
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+	if dup {
+		return writeError(w, http.StatusConflict, "model %q already exists", req.Name)
+	}
+	if full {
+		return writeError(w, http.StatusTooManyRequests, "model capacity %d reached", s.cfg.MaxModels)
+	}
+
+	problem, err := core.NewProblem(toGeomPoints(req.Points), req.Z, metric)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	sess, err := core.NewSession(problem, cfg)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+
+	info := ModelInfo{
+		Name:   req.Name,
+		N:      problem.N(),
+		Mode:   sess.Config().Mode.String(),
+		Metric: metricName,
+	}
+	var theta cov.Params
+	if req.Theta != nil {
+		theta = toCovParams(*req.Theta)
+	} else {
+		spec := req.Fit
+		if spec == nil {
+			spec = &FitSpec{}
+		}
+		opts := core.FitOptions{MaxEvals: spec.MaxEvals, FixSmoothness: spec.FixSmoothness}
+		if spec.Start != nil {
+			opts.Start = toCovParams(*spec.Start)
+		}
+		fitStart := time.Now()
+		var fit core.FitResult
+		if spec.Profiled {
+			fit, err = sess.ProfiledFit(opts)
+		} else {
+			fit, err = sess.Fit(opts)
+		}
+		if err != nil {
+			return writeError(w, http.StatusUnprocessableEntity, "fit failed: %v", err)
+		}
+		theta = fit.Theta
+		info.Fitted = true
+		info.LogLik = fit.LogL
+		info.FitEvals = fit.Evals
+		info.FitMS = float64(time.Since(fitStart).Microseconds()) / 1e3
+	}
+	info.Theta = fromCovParams(theta)
+
+	// Warm the session's solve cache so the factorization is paid at ingest,
+	// not by the first (unlucky) prediction request.
+	if _, err := sess.Predict(problem.Points[:1], theta); err != nil {
+		return writeError(w, http.StatusUnprocessableEntity, "model unusable: %v", err)
+	}
+
+	m := &model{
+		info:  info,
+		sess:  sess,
+		theta: theta,
+		queue: make(chan *predictJob, s.cfg.MaxQueue),
+		done:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+	if _, ok := s.models[req.Name]; ok {
+		s.mu.Unlock()
+		return writeError(w, http.StatusConflict, "model %q already exists", req.Name)
+	}
+	if len(s.models) >= s.cfg.MaxModels {
+		s.mu.Unlock()
+		return writeError(w, http.StatusTooManyRequests, "model capacity %d reached", s.cfg.MaxModels)
+	}
+	s.models[req.Name] = m
+	s.mu.Unlock()
+	go m.run()
+
+	return writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) lookup(name string) (*model, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[name]
+	return m, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) int {
+	s.mu.RLock()
+	infos := make([]ModelInfo, 0, len(s.models))
+	for _, m := range s.models {
+		infos = append(infos, m.snapshot())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return writeJSON(w, http.StatusOK, ListModelsResponse{Models: infos})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) int {
+	m, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		return writeError(w, http.StatusNotFound, "no model %q", r.PathValue("name"))
+	}
+	return writeJSON(w, http.StatusOK, m.snapshot())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) int {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	m, ok := s.models[name]
+	if ok {
+		delete(s.models, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return writeError(w, http.StatusNotFound, "no model %q", name)
+	}
+	// Stop the worker outside the registry lock; pending jobs drain with
+	// replies before close returns.
+	m.close()
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	name := r.PathValue("name")
+	m, ok := s.lookup(name)
+	if !ok {
+		return writeError(w, http.StatusNotFound, "no model %q", name)
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	}
+	if len(req.Points) == 0 {
+		return writeError(w, http.StatusBadRequest, "empty point list")
+	}
+	if len(req.Points) > s.cfg.MaxBatch {
+		return writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds the %d limit", len(req.Points), s.cfg.MaxBatch)
+	}
+
+	job := &predictJob{
+		points:       toGeomPoints(req.Points),
+		withVariance: req.WithVariance,
+		reply:        make(chan predictResult, 1),
+	}
+	if err := m.enqueue(job); err != nil {
+		if errors.Is(err, errModelClosed) {
+			return writeError(w, http.StatusNotFound, "model %q deleted", name)
+		}
+		return writeError(w, http.StatusServiceUnavailable, "model %q overloaded: %v", name, err)
+	}
+	var res predictResult
+	select {
+	case res = <-job.reply:
+	case <-r.Context().Done():
+		// Client gone; the worker still runs the job (reply is buffered so
+		// it never blocks) but there is nobody to write to.
+		return http.StatusServiceUnavailable
+	}
+	if res.err != nil {
+		// Server-side solve failure. ErrSessionBusy here would mean the
+		// serialization contract broke — surface it loudly either way.
+		return writeError(w, http.StatusInternalServerError, "predict failed: %v", res.err)
+	}
+	resp := PredictResponse{
+		Model:     name,
+		N:         len(res.mean),
+		Mean:      res.mean,
+		ElapsedMS: float64(res.elapsed.Microseconds()) / 1e3,
+	}
+	if req.WithVariance {
+		resp.Variance = res.variance
+		resp.CI95 = make([]float64, len(res.variance))
+		pr := core.Prediction{Mean: res.mean, Variance: res.variance}
+		for i := range res.variance {
+			resp.CI95[i] = pr.CI95(i)
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	// Read only the process-wide obs registry — never Session internals,
+	// which belong to the worker goroutines.
+	snap := obs.Default().Snapshot()
+	eps := make(map[string]EndpointStats, len(s.endpoints))
+	for _, name := range s.endpoints {
+		h := snap.Histograms["serve.http."+name+".ns"]
+		eps[name] = EndpointStats{
+			Count:  h.Count,
+			Errors: snap.Counters["serve.http."+name+".errors"],
+			MeanMS: h.Mean() / 1e6,
+			P50MS:  float64(h.Quantile(0.50)) / 1e6,
+			P99MS:  float64(h.Quantile(0.99)) / 1e6,
+			MaxMS:  float64(h.Max) / 1e6,
+		}
+	}
+	s.mu.RLock()
+	infos := make([]ModelInfo, 0, len(s.models))
+	for _, m := range s.models {
+		infos = append(infos, m.snapshot())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return writeJSON(w, http.StatusOK, MetricsResponse{Obs: snap, Endpoints: eps, Models: infos})
+}

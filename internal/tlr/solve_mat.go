@@ -41,30 +41,43 @@ func (m *Matrix) rowBlock(b *la.Mat, i int) *la.Mat {
 
 // ForwardSolveMat solves L·X = B in place against a TLR-factored matrix for
 // an n×r right-hand-side block.
+//
+// B is processed in NB-wide column blocks, making an n×r solve the exact
+// concatenation of independent n×NB solves: the GEMM kernel dispatch never
+// sees a width that depends on r, so callers that chunk their right-hand
+// sides (the bounded-memory prediction-variance path) get bitwise-identical
+// results to the one-shot call.
 func (m *Matrix) ForwardSolveMat(b *la.Mat) {
 	if b.Rows != m.N {
 		panic("tlr: ForwardSolveMat row mismatch")
 	}
-	for i := 0; i < m.MT; i++ {
-		bi := m.rowBlock(b, i)
-		for j := 0; j < i; j++ {
-			MatMul(m.off[i][j], -1, m.rowBlock(b, j), bi)
+	for c0 := 0; c0 < b.Cols; c0 += m.NB {
+		bc := b.View(0, c0, b.Rows, min(m.NB, b.Cols-c0))
+		for i := 0; i < m.MT; i++ {
+			bi := m.rowBlock(bc, i)
+			for j := 0; j < i; j++ {
+				MatMul(m.off[i][j], -1, m.rowBlock(bc, j), bi)
+			}
+			la.Trsm(la.Left, la.Lower, la.NoTrans, 1, m.diag[i], bi)
 		}
-		la.Trsm(la.Left, la.Lower, la.NoTrans, 1, m.diag[i], bi)
 	}
 }
 
-// BackwardSolveMat solves Lᵀ·X = B in place against a TLR-factored matrix.
+// BackwardSolveMat solves Lᵀ·X = B in place against a TLR-factored matrix,
+// with the same NB-wide column blocking as ForwardSolveMat.
 func (m *Matrix) BackwardSolveMat(b *la.Mat) {
 	if b.Rows != m.N {
 		panic("tlr: BackwardSolveMat row mismatch")
 	}
-	for i := m.MT - 1; i >= 0; i-- {
-		bi := m.rowBlock(b, i)
-		for j := m.MT - 1; j > i; j-- {
-			MatMulT(m.off[j][i], -1, m.rowBlock(b, j), bi)
+	for c0 := 0; c0 < b.Cols; c0 += m.NB {
+		bc := b.View(0, c0, b.Rows, min(m.NB, b.Cols-c0))
+		for i := m.MT - 1; i >= 0; i-- {
+			bi := m.rowBlock(bc, i)
+			for j := m.MT - 1; j > i; j-- {
+				MatMulT(m.off[j][i], -1, m.rowBlock(bc, j), bi)
+			}
+			la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.diag[i], bi)
 		}
-		la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.diag[i], bi)
 	}
 }
 
