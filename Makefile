@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench serve servebench clean
+.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench modesbench serve servebench clean
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,14 @@ test:
 	$(GO) test ./...
 
 # verify is the pre-merge gate: vet, a focused uncached race pass over the
-# message-passing, session, metrics and spatial-ordering layers (the rank
-# goroutines, mailboxes, evaluator caches, lock-free instruments and the
-# ordering determinism contract are the point), then the full suite under
-# the race detector (parallel assembly and scheduler paths).
+# message-passing, session, metrics, spatial-ordering and HODLR layers (the
+# rank goroutines, mailboxes, backend registry and caches, lock-free
+# instruments, the ordering determinism contract and the hierarchical
+# factorization's task graph are the point), then the full suite under the
+# race detector (parallel assembly and scheduler paths).
 verify:
 	$(GO) vet ./...
-	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/... ./internal/obs/... ./internal/geom/...
+	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/... ./internal/obs/... ./internal/geom/... ./internal/hodlr/...
 	$(GO) test -race ./...
 
 bench:
@@ -56,6 +57,12 @@ chaosbench:
 # factorization makespan, per-rank comm bytes, cross-ordering agreement).
 orderbench:
 	$(GO) run ./cmd/paperbench -order BENCH_order.json
+
+# modesbench races every registered evaluator backend (full-block/full-tile/
+# tlr/hodlr) on one clustered dataset: first/steady eval time, covariance
+# storage, rank structure, predict throughput, agreement with dense.
+modesbench:
+	$(GO) run ./cmd/paperbench -modes BENCH_modes.json
 
 # serve runs the kriging service (cmd/exaserve) on :8080.
 serve:

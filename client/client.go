@@ -13,6 +13,9 @@
 // Non-2xx replies surface as *APIError carrying the HTTP status and the
 // server's message, so callers can distinguish load shedding (503) from
 // caller bugs (4xx).
+//
+// The client targets the versioned /v1/ wire API; servers also keep the
+// original unversioned paths mounted as aliases for older clients.
 package client
 
 import (
@@ -118,34 +121,34 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 // request fixes it.
 func (c *Client) CreateModel(ctx context.Context, req CreateModelRequest) (ModelInfo, error) {
 	var info ModelInfo
-	err := c.roundTrip(ctx, http.MethodPost, "/models", req, &info)
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/models", req, &info)
 	return info, err
 }
 
 // ListModels returns every registered model.
 func (c *Client) ListModels(ctx context.Context) ([]ModelInfo, error) {
 	var list serve.ListModelsResponse
-	err := c.roundTrip(ctx, http.MethodGet, "/models", nil, &list)
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/models", nil, &list)
 	return list.Models, err
 }
 
 // GetModel returns one model's description.
 func (c *Client) GetModel(ctx context.Context, name string) (ModelInfo, error) {
 	var info ModelInfo
-	err := c.roundTrip(ctx, http.MethodGet, "/models/"+name, nil, &info)
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/models/"+name, nil, &info)
 	return info, err
 }
 
 // DeleteModel removes a model and stops its worker.
 func (c *Client) DeleteModel(ctx context.Context, name string) error {
-	return c.roundTrip(ctx, http.MethodDelete, "/models/"+name, nil, nil)
+	return c.roundTrip(ctx, http.MethodDelete, "/v1/models/"+name, nil, nil)
 }
 
 // Predict returns kriging predictions at points, with conditional variance
 // and 95% intervals when withVariance is set.
 func (c *Client) Predict(ctx context.Context, model string, points []Point, withVariance bool) (PredictResponse, error) {
 	var resp PredictResponse
-	err := c.roundTrip(ctx, http.MethodPost, "/models/"+model+"/predict",
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/models/"+model+"/predict",
 		PredictRequest{Points: points, WithVariance: withVariance}, &resp)
 	return resp, err
 }
@@ -153,11 +156,11 @@ func (c *Client) Predict(ctx context.Context, model string, points []Point, with
 // Metrics returns the server's observability snapshot.
 func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
 	var m MetricsResponse
-	err := c.roundTrip(ctx, http.MethodGet, "/metrics", nil, &m)
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/metrics", nil, &m)
 	return m, err
 }
 
 // Healthz reports whether the server answers its liveness probe.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.roundTrip(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 }

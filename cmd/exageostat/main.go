@@ -24,7 +24,7 @@ func main() {
 	var (
 		n       = flag.Int("n", 1600, "number of synthetic locations")
 		nPred   = flag.Int("predict", 100, "held-out locations to predict")
-		modeStr = flag.String("mode", "tlr", "computation mode: full-block | full-tile | tlr")
+		modeStr = flag.String("mode", "tlr", "computation mode: full-block | full-tile | tlr | hodlr")
 		acc     = flag.Float64("acc", 1e-7, "TLR accuracy threshold")
 		nb      = flag.Int("nb", 0, "tile size (0 = default)")
 		comp    = flag.String("compressor", "svd", "TLR compression backend: svd | rsvd | aca")
@@ -83,16 +83,11 @@ func fatal(err error) {
 
 func parseMode(mode string, acc float64, nb int, comp string, workers int) (exago.Config, error) {
 	cfg := exago.Config{TileSize: nb, Accuracy: acc, CompressorName: comp, Workers: workers}
-	switch mode {
-	case "full-block":
-		cfg.Mode = exago.FullBlock
-	case "full-tile":
-		cfg.Mode = exago.FullTile
-	case "tlr":
-		cfg.Mode = exago.TLR
-	default:
-		return cfg, fmt.Errorf("unknown mode %q", mode)
+	m, err := exago.ModeByName(mode)
+	if err != nil {
+		return cfg, err
 	}
+	cfg.Mode = m
 	return cfg, nil
 }
 
@@ -199,11 +194,9 @@ func runDataset(name string, points int, seed uint64, cfg exago.Config, maxEval 
 	return nil
 }
 
-// doFit dispatches between the full and profiled likelihood fits.
+// doFit runs the fit, concentrating the variance out when -profiled is set.
 func doFit(p *exago.Problem, cfg exago.Config, opts exago.FitOptions, profiled bool) (exago.FitResult, error) {
-	if profiled {
-		return exago.ProfiledFit(p, cfg, opts)
-	}
+	opts.Profiled = profiled
 	return exago.Fit(p, cfg, opts)
 }
 

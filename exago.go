@@ -64,7 +64,18 @@ const (
 	FullTile = core.FullTile
 	// TLR compresses off-diagonal tiles to Config.Accuracy (the HiCMA path).
 	TLR = core.TLR
+	// HODLR factors a hierarchically off-diagonal low-rank matrix with a
+	// recursive Cholesky — the tree-structured alternative to TLR's flat
+	// tiling (Config.TileSize is the leaf size, Config.Accuracy the per-block
+	// tolerance).
+	HODLR = core.HODLR
 )
+
+// ModeByName resolves a mode from its registered name or alias ("full-block",
+// "dense", "tlr", "hodlr", ...), case-insensitively. ModeNames lists the
+// canonical names of every registered backend.
+func ModeByName(name string) (Mode, error) { return core.ModeByName(name) }
+func ModeNames() []string                  { return core.ModeNames() }
 
 // Config tunes a computation mode; see core.Config for field semantics.
 // Setting Config.Ranks > 1 (Mode must be TLR) selects the distributed-memory
@@ -200,6 +211,9 @@ func CoverageCheck(pr Prediction, truth []float64) (float64, error) {
 
 // ProfiledFit estimates θ̂ via the concentrated likelihood: the variance is
 // profiled out analytically, shrinking the search to (range, smoothness).
+//
+// Deprecated: set FitOptions.Profiled and call Fit instead — the profiled
+// search is an option of the one Fit entry point, not a separate estimator.
 func ProfiledFit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
 	return core.ProfiledFit(p, cfg, opts)
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/cov"
+	"repro/internal/la"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/tlr"
+)
+
+// Graph-reuse counters for the TLR mode: the fused generate+compress+Cholesky
+// DAG is built once per backend and re-executed per θ (the graph-reuse
+// contract documented in tlr.GenSpec).
+var (
+	cntCacheTLRHit  = obs.GetCounter("core.cache.tlrgraph.hit")
+	cntCacheTLRMiss = obs.GetCounter("core.cache.tlrgraph.miss")
+)
+
+func init() {
+	RegisterBackend(TLR, BackendSpec{
+		Name: "tlr",
+		New: func(p *Problem, cfg Config, inj *chaos.Injector) (Backend, error) {
+			return newLocalBackend(p, cfg, inj, &tlrState{}), nil
+		},
+		NewDist: func(p *Problem, cfg Config, inj *chaos.Injector) (Backend, error) {
+			return newDistBackend(p, cfg, inj)
+		},
+	})
+}
+
+// tlrState is the TLR mode's cached state: the tile shell (diagonal buffers
+// + compressed-tile slots), the handle layout, the generation scratch pool,
+// and the fused generate+compress+Cholesky DAG — only ranks and tile
+// contents are rebuilt per θ.
+type tlrState struct {
+	tm    *tlr.Matrix    // tile shell
+	tspec *tlr.GenSpec   // mutable kernel/nugget slot read by the gen tasks
+	tg    *runtime.Graph // fused generate+compress + factorization DAG
+}
+
+func (st *tlrState) factorizeOnce(e *localBackend, k *cov.Kernel, nugget float64) (Factor, error) {
+	if st.tg == nil {
+		comp, err := tlr.CompressorByName(e.cfg.CompressorName)
+		if err != nil {
+			return nil, err
+		}
+		st.tm = tlr.NewMatrix(e.p.N(), e.cfg.TileSize, e.cfg.Accuracy)
+		st.tspec = &tlr.GenSpec{Pts: e.p.Points, Metric: e.p.Metric, Comp: comp}
+		if e.inj != nil {
+			st.tspec.ForceMiss = e.inj.CompressMiss
+		}
+		st.tg = tlr.BuildGenCholeskyGraph(st.tm, st.tspec, true)
+		cntCacheTLRMiss.Inc()
+	} else {
+		cntCacheTLRHit.Inc()
+	}
+	st.tspec.K = k
+	st.tspec.Nugget = nugget
+	if err := e.run(st.tg); err != nil {
+		return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
+	}
+	return tlrFactor{m: st.tm}, nil
+}
+
+// tlrFactor wraps a TLR factorization.
+type tlrFactor struct{ m *tlr.Matrix }
+
+func (f tlrFactor) HalfSolve(b []float64)     { f.m.ForwardSolve(b) }
+func (f tlrFactor) Solve(b []float64)         { f.m.Solve(b) }
+func (f tlrFactor) HalfSolveMat(b *la.Mat)    { f.m.ForwardSolveMat(b) }
+func (f tlrFactor) SolveMat(b *la.Mat)        { f.m.SolveMat(b) }
+func (f tlrFactor) LogDet() float64           { return f.m.LogDet() }
+func (f tlrFactor) Bytes() int64              { return f.m.Bytes() }
+func (f tlrFactor) RankStats() (int, float64) { return f.m.RankStats() }

@@ -1,11 +1,14 @@
 // Package core implements the paper's contribution: Gaussian maximum
-// likelihood estimation and prediction for large spatial datasets in three
-// computation modes —
+// likelihood estimation and prediction for large spatial datasets in four
+// computation modes, each a pluggable Backend registration —
 //
 //   - FullBlock: one dense matrix, LAPACK-style blocked Cholesky (the MKL
 //     baseline of Fig. 3);
 //   - FullTile: tile algorithms over the task runtime (the Chameleon path);
-//   - TLR: tile low-rank compression at a user accuracy (the HiCMA path).
+//   - TLR: tile low-rank compression at a user accuracy (the HiCMA path);
+//   - HODLR: hierarchically off-diagonal low-rank — the recursive format
+//     the paper's §II positions TLR against, factored by a task-parallel
+//     hierarchical Cholesky (internal/hodlr).
 //
 // The log-likelihood (paper eq. 1) is
 //
@@ -19,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -27,24 +31,23 @@ import (
 	"repro/internal/tlr"
 )
 
-// Mode selects the computation technique.
+// Mode selects the computation technique. Each mode is a Backend
+// registration (see RegisterBackend); the constants below are the built-in
+// registrations.
 type Mode int
 
-// Computation modes (paper §VIII terminology).
+// Computation modes (paper §VIII terminology, plus the hierarchical HODLR
+// format the paper's §II positions TLR against).
 const (
 	FullBlock Mode = iota
 	FullTile
 	TLR
+	HODLR
 )
 
 func (m Mode) String() string {
-	switch m {
-	case FullBlock:
-		return "full-block"
-	case FullTile:
-		return "full-tile"
-	case TLR:
-		return "tlr"
+	if spec, ok := lookupBackend(m); ok {
+		return spec.Name
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -56,13 +59,14 @@ func (m Mode) String() string {
 // public entry point calls — they are never silently coerced.
 type Config struct {
 	Mode Mode
-	// TileSize is the tile edge nb for FullTile and TLR (0 = default 128).
+	// TileSize is the tile edge nb for FullTile and TLR, and the dense leaf
+	// size of the HODLR tree (0 = default 128).
 	TileSize int
-	// Accuracy is the TLR compression threshold (0 = default 1e-9); ignored
-	// by the dense modes.
+	// Accuracy is the low-rank compression threshold for TLR and HODLR
+	// (0 = default 1e-9); ignored by the dense modes.
 	Accuracy float64
-	// CompressorName selects the TLR compression backend ("svd" default,
-	// "rsvd", "aca").
+	// CompressorName selects the low-rank compression backend ("svd"
+	// default, "rsvd", "aca") for TLR and HODLR.
 	CompressorName string
 	// Workers is the shared-memory runtime worker count (0 = default 1).
 	Workers int
@@ -135,10 +139,9 @@ func DefaultConfig() Config {
 // of coercing bad values. Zero fields mean "use the default" and are always
 // valid; negative or inconsistent fields are not.
 func (c Config) Validate() error {
-	switch c.Mode {
-	case FullBlock, FullTile, TLR:
-	default:
-		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	spec, known := lookupBackend(c.Mode)
+	if !known {
+		return fmt.Errorf("core: unknown mode %v (have %s)", c.Mode, strings.Join(ModeNames(), ", "))
 	}
 	if c.TileSize < 0 {
 		return fmt.Errorf("core: negative TileSize %d", c.TileSize)
@@ -176,8 +179,9 @@ func (c Config) Validate() error {
 	if ranks == 0 && c.Grid[0] > 0 {
 		ranks = c.Grid[0] * c.Grid[1]
 	}
-	if ranks > 1 && c.Mode != TLR {
-		return fmt.Errorf("core: distributed execution (Ranks=%d) requires Mode=TLR, got %v", ranks, c.Mode)
+	if ranks > 1 && spec.NewDist == nil {
+		return fmt.Errorf("core: distributed execution (Ranks=%d) requires Mode=%s, got %v",
+			ranks, strings.Join(distModeNames(), "|"), c.Mode)
 	}
 	if c.MaxRetries < 0 {
 		return fmt.Errorf("core: negative MaxRetries %d", c.MaxRetries)
@@ -388,6 +392,11 @@ type FitOptions struct {
 	// FixSmoothness pins θ₃ to Start.Smoothness instead of estimating it —
 	// common practice when the smoothness is known a priori.
 	FixSmoothness bool
+	// Profiled switches Fit to the concentrated likelihood: the variance θ₁
+	// is profiled out analytically (θ̂₁ = ZᵀR⁻¹Z/n) and the optimizer
+	// searches only (θ₂, θ₃) — typically far fewer likelihood evaluations
+	// for the same accuracy. Works uniformly across all backends.
+	Profiled bool
 }
 
 // FitResult is the outcome of a maximum likelihood fit.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/la"
 	"repro/internal/mpi"
+	"repro/internal/runtime"
 	"repro/internal/tlr"
 )
 
@@ -24,12 +25,14 @@ const (
 	distTagRankCnt = 9 // compressed-tile count (mean-rank denominator)
 )
 
-// distEvaluator is the distributed-memory counterpart of evaluator: it owns
-// a persistent World and one DistTLR shard per rank, both reused across the
-// optimizer's evaluations — shards regenerate their owned tiles per θ
+// distBackend is the distributed-memory Backend (TLR with Ranks > 1): it
+// owns a persistent World and one DistTLR shard per rank, both reused across
+// the optimizer's evaluations — shards regenerate their owned tiles per θ
 // instead of reallocating, and the World's mailboxes are drained by every
-// collective, so evaluation k+1 starts from a clean slate.
-type distEvaluator struct {
+// collective, so evaluation k+1 starts from a clean slate. Factors stay
+// sharded on the ranks, so distBackend does not implement FactorBackend;
+// Session routes kriging through SolveVec/HalfSolveChunked instead.
+type distBackend struct {
 	p    *Problem
 	cfg  Config
 	grid mpi.Grid
@@ -39,17 +42,13 @@ type distEvaluator struct {
 	world  *mpi.World
 	shards []*mpi.DistTLR
 
-	// Graceful-degradation bookkeeping, mirroring evaluator's.
-	lastNugget        float64
-	lastRetries       int
-	factorFails       int64
-	nuggetEscalations int64
-	lastFailure       string
+	// Graceful-degradation bookkeeping, mirroring localBackend's.
+	diag Diagnostics
 
-	epoch time.Time // trace epoch set by Session.EnableTracing
+	epoch time.Time // trace epoch set by EnableTracing
 }
 
-func newDistEvaluator(p *Problem, cfg Config, inj *chaos.Injector) (*distEvaluator, error) {
+func newDistBackend(p *Problem, cfg Config, inj *chaos.Injector) (*distBackend, error) {
 	comp, err := tlr.CompressorByName(cfg.CompressorName)
 	if err != nil {
 		return nil, err
@@ -70,7 +69,7 @@ func newDistEvaluator(p *Problem, cfg Config, inj *chaos.Injector) (*distEvaluat
 			return mpi.MsgFault{Verdict: mpi.MsgDeliver}
 		})
 	}
-	return &distEvaluator{
+	return &distBackend{
 		p:    p,
 		cfg:  cfg,
 		grid: mpi.Grid{P: cfg.Grid[0], Q: cfg.Grid[1]},
@@ -82,6 +81,38 @@ func newDistEvaluator(p *Problem, cfg Config, inj *chaos.Injector) (*distEvaluat
 	}, nil
 }
 
+func (e *distBackend) Mode() Mode               { return e.cfg.Mode }
+func (e *distBackend) Diagnostics() Diagnostics { return e.diag }
+
+// EnableTracing starts a timestamped communication timeline on the World.
+func (e *distBackend) EnableTracing() {
+	e.epoch = time.Now()
+	e.world.EnableTrace(e.epoch)
+}
+
+// Trace renders the communication timeline as a runtime.Trace — one worker
+// lane per rank, every cross-rank message an instant event. Nil until
+// EnableTracing is called.
+func (e *distBackend) Trace() *runtime.Trace {
+	if !e.world.TraceEnabled() {
+		return nil
+	}
+	tr := &runtime.Trace{Workers: e.cfg.Ranks}
+	tr.MergeEvents(e.world.TraceEvents(0))
+	tr.Wall = time.Since(e.epoch)
+	return tr
+}
+
+// CommStats returns the per-rank cumulative traffic — the measured
+// counterpart of cluster.DistCholeskyComm.
+func (e *distBackend) CommStats() []mpi.CommStats {
+	out := make([]mpi.CommStats, e.cfg.Ranks)
+	for r := range out {
+		out[r] = e.world.Stats(r)
+	}
+	return out
+}
+
 // withFactored regenerates the shards for kernel k, factors them with the
 // distributed TLR Cholesky, and runs fn on every rank against its factored
 // shard. A Cholesky breakdown — which the SPD-agreement allreduce makes every
@@ -89,7 +120,7 @@ func newDistEvaluator(p *Problem, cfg Config, inj *chaos.Injector) (*distEvaluat
 // world, matching the shared-memory ladder; regeneration rebuilds every tile
 // from scratch, so the retry starts clean. The first rank error of a
 // non-recoverable run is returned.
-func (e *distEvaluator) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi.Comm, d *mpi.DistTLR) error) error {
+func (e *distBackend) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi.Comm, d *mpi.DistTLR) error) error {
 	cur := nugget
 	for attempt := 0; ; attempt++ {
 		cntFactorRuns.Inc()
@@ -119,25 +150,25 @@ func (e *distEvaluator) withFactored(k *cov.Kernel, nugget float64, fn func(c *m
 			}
 		}
 		if firstErr == nil {
-			e.lastNugget, e.lastRetries = cur, attempt
+			e.diag.LastNugget, e.diag.LastRetries = cur, attempt
 			return nil
 		}
 		cntFactorFail.Inc()
-		e.factorFails++
-		e.lastFailure = firstErr.Error()
+		e.diag.FactorFailures++
+		e.diag.LastFailure = firstErr.Error()
 		if !errors.Is(firstErr, la.ErrNotPositiveDefinite) || attempt >= maxNuggetEscalations {
 			return firstErr
 		}
 		cur *= e.cfg.NuggetEscalation
 		cntNuggetEscalated.Inc()
-		e.nuggetEscalations++
+		e.diag.NuggetEscalations++
 	}
 }
 
 // evalParts runs one distributed likelihood evaluation: factor, log|Σ| via
 // the factor's allreduce, L⁻¹Z via the replicated forward solve, and the
 // quadratic form plus the diagnostic stats via one AllreduceSum each.
-func (e *distEvaluator) evalParts(k *cov.Kernel, nugget float64) (logDet, quad float64, diag LikResult, err error) {
+func (e *distBackend) evalParts(k *cov.Kernel, nugget float64) (logDet, quad float64, diag LikResult, err error) {
 	type parts struct {
 		logDet, quad              float64
 		bytes                     float64
@@ -197,13 +228,13 @@ func (e *distEvaluator) evalParts(k *cov.Kernel, nugget float64) (logDet, quad f
 	if p0.rankCnt > 0 {
 		diag.MeanRank = p0.rankSum / p0.rankCnt
 	}
-	diag.NuggetUsed, diag.NuggetRetries = e.lastNugget, e.lastRetries
+	diag.NuggetUsed, diag.NuggetRetries = e.diag.LastNugget, e.diag.LastRetries
 	return p0.logDet, p0.quad, diag, nil
 }
 
-// logLikelihood evaluates ℓ(θ) (paper eq. 1) on the distributed backend:
+// LogLikelihood evaluates ℓ(θ) (paper eq. 1) on the distributed backend:
 // one AllreduceSum for the log-determinant term, one for the quadratic form.
-func (e *distEvaluator) logLikelihood(theta cov.Params) (LikResult, error) {
+func (e *distBackend) LogLikelihood(theta cov.Params) (LikResult, error) {
 	if err := theta.Validate(); err != nil {
 		return LikResult{}, err
 	}
@@ -218,9 +249,9 @@ func (e *distEvaluator) logLikelihood(theta cov.Params) (LikResult, error) {
 	return res, nil
 }
 
-// profiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃) on
+// ProfiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃) on
 // the distributed backend (see ProfiledLogLikelihood).
-func (e *distEvaluator) profiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
+func (e *distBackend) ProfiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
 	theta := cov.Params{Variance: 1, Range: rangeP, Smoothness: smoothness}
 	if err := theta.Validate(); err != nil {
 		return 0, 0, err
@@ -238,10 +269,10 @@ func (e *distEvaluator) profiledLogLikelihood(rangeP, smoothness float64) (logL,
 	return logL, varianceHat, nil
 }
 
-// solve overwrites b with Σ⁻¹·b using the distributed factorization. Every
-// rank works on a private replica; rank 0's (identical) result is copied
-// back into b.
-func (e *distEvaluator) solve(k *cov.Kernel, nugget float64, b []float64) error {
+// SolveVec overwrites b with Σ⁻¹·b using the distributed factorization.
+// Every rank works on a private replica; rank 0's (identical) result is
+// copied back into b.
+func (e *distBackend) SolveVec(k *cov.Kernel, nugget float64, b []float64) error {
 	replicas := make([][]float64, e.cfg.Ranks)
 	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
 		y := append([]float64(nil), b...)
@@ -258,42 +289,14 @@ func (e *distEvaluator) solve(k *cov.Kernel, nugget float64, b []float64) error 
 	return nil
 }
 
-// halfSolve overwrites the n×m block w with L⁻¹·w and the vector y with
-// L⁻¹·y (the prediction-variance pair), again on private per-rank replicas.
-func (e *distEvaluator) halfSolve(k *cov.Kernel, nugget float64, w *la.Mat, y []float64) error {
-	type res struct {
-		w *la.Mat
-		y []float64
-	}
-	replicas := make([]res, e.cfg.Ranks)
-	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
-		wr := w.Clone()
-		yr := append([]float64(nil), y...)
-		if err := d.ForwardSolveMat(c, wr); err != nil {
-			return err
-		}
-		if err := d.ForwardSolve(c, yr); err != nil {
-			return err
-		}
-		replicas[c.Rank()] = res{w: wr, y: yr}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	w.CopyFrom(replicas[0].w)
-	copy(y, replicas[0].y)
-	return nil
-}
-
-// halfSolveChunked is the bounded-memory prediction-variance pair: it factors
+// HalfSolveChunked is the bounded-memory prediction-variance pair: it factors
 // once, forward-solves y = L⁻¹·Z₂ on every rank, then assembles and
 // forward-solves Σ₂₁ one TileSize-wide column block at a time — each rank
 // holds one n×chunk block instead of the full n×m W. Every rank computes an
 // identical replica; rank 0 hands each solved block to visit (called
 // sequentially, with the block's starting column) so the caller can
 // accumulate means and norms without the blocks ever coexisting.
-func (e *distEvaluator) halfSolveChunked(k *cov.Kernel, nugget float64, newPts []geom.Point, chunk int, y []float64, visit func(col int, w *la.Mat, y []float64)) error {
+func (e *distBackend) HalfSolveChunked(k *cov.Kernel, nugget float64, newPts []geom.Point, chunk int, y []float64, visit func(col int, w *la.Mat, y []float64)) error {
 	n := e.p.N()
 	m := len(newPts)
 	return e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
@@ -317,15 +320,11 @@ func (e *distEvaluator) halfSolveChunked(k *cov.Kernel, nugget float64, newPts [
 }
 
 // CommStats returns the per-rank cumulative traffic of the distributed
-// backend (nil for shared-memory sessions) — the measured counterpart of
-// cluster.DistCholeskyComm.
+// backend (nil for shared-memory sessions).
 func (s *Session) CommStats() []mpi.CommStats {
-	if s.dev == nil {
+	cb, ok := s.be.(CommBackend)
+	if !ok {
 		return nil
 	}
-	out := make([]mpi.CommStats, s.dev.cfg.Ranks)
-	for r := range out {
-		out[r] = s.dev.world.Stats(r)
-	}
-	return out
+	return cb.CommStats()
 }

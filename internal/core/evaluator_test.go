@@ -7,6 +7,17 @@ import (
 	"repro/internal/cov"
 )
 
+// newTestBackend builds the registered backend for cfg directly, bypassing
+// Session — the reuse contracts below are properties of the backend itself.
+func newTestBackend(t *testing.T, p *Problem, cfg Config) Backend {
+	t.Helper()
+	be, err := newBackend(p, cfg.withDefaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
 // Likelihoods from one reused evaluator must match fresh single-shot
 // evaluations across a sweep of θ — the reused Σ buffer / tile graph may
 // leave no trace of the previous parameters.
@@ -21,10 +32,11 @@ func TestEvaluatorReuseMatchesFresh(t *testing.T) {
 	for _, cfg := range []Config{
 		{Mode: FullBlock, Workers: 3},
 		{Mode: FullTile, TileSize: 32, Workers: 3},
+		{Mode: HODLR, TileSize: 32, Workers: 3},
 	} {
-		ev := newEvaluator(p, cfg, nil)
+		ev := newTestBackend(t, p, cfg)
 		for _, th := range thetas {
-			got, err := ev.logLikelihood(th)
+			got, err := ev.LogLikelihood(th)
 			if err != nil {
 				t.Fatalf("%v θ=%v: %v", cfg.Mode, th, err)
 			}
@@ -46,9 +58,9 @@ func TestEvaluatorReuseMatchesFresh(t *testing.T) {
 func TestEvaluatorProfiledReuseMatchesFresh(t *testing.T) {
 	p := smallProblem(t, 120, 4)
 	cfg := Config{Mode: FullTile, TileSize: 32, Workers: 2}
-	ev := newEvaluator(p, cfg, nil)
+	ev := newTestBackend(t, p, cfg)
 	for _, rangeP := range []float64{0.05, 0.2, 0.1} {
-		gotL, gotV, err := ev.profiledLogLikelihood(rangeP, 0.5)
+		gotL, gotV, err := ev.ProfiledLogLikelihood(rangeP, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,13 +87,13 @@ func TestEvaluatorTLRReuseBitwise(t *testing.T) {
 	}
 	for _, comp := range []string{"svd", "rsvd"} {
 		cfg := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-8, Workers: 3, CompressorName: comp}
-		ev := newEvaluator(p, cfg, nil)
+		ev := newTestBackend(t, p, cfg)
 		for _, th := range thetas {
-			got, err := ev.logLikelihood(th)
+			got, err := ev.LogLikelihood(th)
 			if err != nil {
 				t.Fatalf("%s θ=%v: %v", comp, th, err)
 			}
-			again, err := ev.logLikelihood(th)
+			again, err := ev.LogLikelihood(th)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,18 +120,19 @@ func TestEvaluatorRecoversAfterFactorizationError(t *testing.T) {
 		{Mode: FullBlock},
 		{Mode: FullTile, TileSize: 32, Workers: 2},
 		{Mode: TLR, TileSize: 32, Accuracy: 1e-10, Workers: 2},
+		{Mode: HODLR, TileSize: 32, Accuracy: 1e-10, Workers: 2},
 	} {
-		ev := newEvaluator(p, cfg, nil)
+		ev := newTestBackend(t, p, cfg)
 		good := cov.Params{Variance: 1, Range: 0.1, Smoothness: 0.5}
-		before, err := ev.logLikelihood(good)
+		before, err := ev.LogLikelihood(good)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Huge range makes all correlations ≈1: numerically singular.
-		if _, err := ev.logLikelihood(cov.Params{Variance: 1, Range: 1e8, Smoothness: 0.5}); err == nil {
+		if _, err := ev.LogLikelihood(cov.Params{Variance: 1, Range: 1e8, Smoothness: 0.5}); err == nil {
 			t.Skipf("%v: near-singular Σ unexpectedly factored; cannot exercise recovery", cfg.Mode)
 		}
-		after, err := ev.logLikelihood(good)
+		after, err := ev.LogLikelihood(good)
 		if err != nil {
 			t.Fatalf("%v: evaluator broken after failed factorization: %v", cfg.Mode, err)
 		}

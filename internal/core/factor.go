@@ -5,13 +5,11 @@ import (
 
 	"repro/internal/cov"
 	"repro/internal/la"
-	"repro/internal/tile"
-	"repro/internal/tlr"
 )
 
 // Factor is a computed Cholesky factorization of a covariance matrix in one
-// of the three computation modes. It exposes exactly the operations the MLE
-// and prediction pipelines need.
+// of the shared-memory computation modes. It exposes exactly the operations
+// the MLE and prediction pipelines need.
 type Factor interface {
 	// HalfSolve overwrites b with L⁻¹·b (forward substitution).
 	HalfSolve(b []float64)
@@ -19,6 +17,8 @@ type Factor interface {
 	Solve(b []float64)
 	// HalfSolveMat overwrites the n×r block B with L⁻¹·B.
 	HalfSolveMat(b *la.Mat)
+	// SolveMat overwrites the n×r block B with A⁻¹·B (multi-RHS solve).
+	SolveMat(b *la.Mat)
 	// LogDet returns log|A|.
 	LogDet() float64
 	// Bytes returns the factor's storage footprint.
@@ -31,7 +31,9 @@ type Factor interface {
 // Factorize assembles Σ(θ) for the problem and factors it under cfg. The
 // returned Factor is a shared-memory object; distributed configurations
 // (Ranks > 1) are rejected — use a Session, whose methods keep the factor
-// sharded across ranks.
+// sharded across ranks. The factorization routes through the registered
+// backend for cfg.Mode, so it runs the same nugget-escalation ladder the
+// Session paths do.
 func Factorize(p *Problem, theta cov.Params, cfg Config) (Factor, error) {
 	if err := theta.Validate(); err != nil {
 		return nil, err
@@ -43,87 +45,14 @@ func Factorize(p *Problem, theta cov.Params, cfg Config) (Factor, error) {
 	if cfg.Ranks > 1 {
 		return nil, fmt.Errorf("core: Factorize is shared-memory only (Ranks=%d); use Session", cfg.Ranks)
 	}
+	be, err := newBackend(p, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	fb, ok := be.(FactorBackend)
+	if !ok {
+		return nil, fmt.Errorf("core: mode %v does not expose a shared-memory factorization", cfg.Mode)
+	}
 	k := cov.NewKernel(theta)
-	return factorizeKernel(p, k, cfg, cfg.nugget(theta.Variance))
+	return fb.Factorize(k, cfg.nugget(theta.Variance))
 }
-
-// factorizeKernel is the kernel-level entry shared with the profiled path.
-func factorizeKernel(p *Problem, k *cov.Kernel, cfg Config, nugget float64) (Factor, error) {
-	n := p.N()
-	switch cfg.Mode {
-	case FullBlock:
-		sigma := la.NewMat(n, n)
-		k.MatrixParallel(sigma, p.Points, p.Metric, cfg.Workers)
-		cov.AddNugget(sigma, nugget)
-		if err := la.Potrf(sigma); err != nil {
-			return nil, fmt.Errorf("core: %s factorization: %w", cfg.Mode, err)
-		}
-		return denseFactor{l: sigma}, nil
-	case FullTile:
-		m := tile.NewSym(n, cfg.TileSize)
-		spec := &tile.GenSpec{K: k, Pts: p.Points, Metric: p.Metric, Nugget: nugget}
-		if err := tile.GenCholesky(m, spec, cfg.Workers); err != nil {
-			return nil, fmt.Errorf("core: %s factorization: %w", cfg.Mode, err)
-		}
-		return tileFactor{m: m, workers: cfg.Workers}, nil
-	case TLR:
-		comp, err := tlr.CompressorByName(cfg.CompressorName)
-		if err != nil {
-			return nil, err
-		}
-		m := tlr.NewMatrix(n, cfg.TileSize, cfg.Accuracy)
-		spec := &tlr.GenSpec{K: k, Pts: p.Points, Metric: p.Metric, Nugget: nugget, Comp: comp}
-		if err := tlr.GenCholesky(m, spec, cfg.Workers); err != nil {
-			return nil, fmt.Errorf("core: %s factorization: %w", cfg.Mode, err)
-		}
-		return tlrFactor{m: m}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
-	}
-}
-
-// denseFactor wraps a dense lower Cholesky factor.
-type denseFactor struct{ l *la.Mat }
-
-func (f denseFactor) HalfSolve(b []float64) { la.ForwardSolveVec(f.l, b) }
-func (f denseFactor) Solve(b []float64)     { la.CholSolveVec(f.l, b) }
-func (f denseFactor) HalfSolveMat(b *la.Mat) {
-	la.Trsm(la.Left, la.Lower, la.NoTrans, 1, f.l, b)
-}
-func (f denseFactor) LogDet() float64 { return la.LogDetFromChol(f.l) }
-func (f denseFactor) Bytes() int64 {
-	return int64(f.l.Rows) * int64(f.l.Cols) * 8
-}
-func (f denseFactor) RankStats() (int, float64) { return 0, 0 }
-
-// tileFactor wraps a tiled dense factorization.
-type tileFactor struct {
-	m       *tile.SymMatrix
-	workers int
-}
-
-func (f tileFactor) HalfSolve(b []float64) {
-	if err := tile.ForwardSolve(f.m, b, f.workers); err != nil {
-		// the forward-solve DAG cannot fail numerically; a failure is a
-		// programming error
-		panic(err)
-	}
-}
-func (f tileFactor) Solve(b []float64) {
-	f.HalfSolve(b)
-	tile.BackwardSolve(f.m, b)
-}
-func (f tileFactor) HalfSolveMat(b *la.Mat)    { f.m.ForwardSolveMat(b) }
-func (f tileFactor) LogDet() float64           { return f.m.LogDet() }
-func (f tileFactor) Bytes() int64              { return f.m.Bytes() }
-func (f tileFactor) RankStats() (int, float64) { return 0, 0 }
-
-// tlrFactor wraps a TLR factorization.
-type tlrFactor struct{ m *tlr.Matrix }
-
-func (f tlrFactor) HalfSolve(b []float64)     { f.m.ForwardSolve(b) }
-func (f tlrFactor) Solve(b []float64)         { f.m.Solve(b) }
-func (f tlrFactor) HalfSolveMat(b *la.Mat)    { f.m.ForwardSolveMat(b) }
-func (f tlrFactor) LogDet() float64           { return f.m.LogDet() }
-func (f tlrFactor) Bytes() int64              { return f.m.Bytes() }
-func (f tlrFactor) RankStats() (int, float64) { return f.m.RankStats() }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/runtime"
@@ -45,35 +43,19 @@ type Metrics struct {
 // timeline. Call it before the evaluations of interest; tracing adds two
 // time.Now() calls per task and is safe to leave on.
 func (s *Session) EnableTracing() {
-	if s.dev != nil {
-		s.dev.epoch = time.Now()
-		s.dev.world.EnableTrace(s.dev.epoch)
-		return
-	}
-	s.ev.trace = true
+	s.be.EnableTracing()
 }
 
 // Metrics returns the session's current observability state. The Obs
 // snapshot is process-wide (all sessions share the default registry); Trace
-// and Comm are per-session.
+// and Comm are per-session, supplied uniformly by the backend.
 func (s *Session) Metrics() Metrics {
 	m := Metrics{Obs: obs.Default().Snapshot()}
-	if s.dev != nil {
-		m.FactorFailures = s.dev.factorFails
-		m.NuggetEscalations = s.dev.nuggetEscalations
-		m.LastFactorFailure = s.dev.lastFailure
-		m.Comm = s.CommStats()
-		if s.dev.world.TraceEnabled() {
-			tr := &runtime.Trace{Workers: s.dev.cfg.Ranks}
-			tr.MergeEvents(s.dev.world.TraceEvents(0))
-			tr.Wall = time.Since(s.dev.epoch)
-			m.Trace = tr
-		}
-		return m
-	}
-	m.FactorFailures = s.ev.factorFails
-	m.NuggetEscalations = s.ev.nuggetEscalations
-	m.LastFactorFailure = s.ev.lastFailure
-	m.Trace = s.ev.lastTrace
+	d := s.be.Diagnostics()
+	m.FactorFailures = d.FactorFailures
+	m.NuggetEscalations = d.NuggetEscalations
+	m.LastFactorFailure = d.LastFailure
+	m.Trace = s.be.Trace()
+	m.Comm = s.CommStats()
 	return m
 }

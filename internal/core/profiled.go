@@ -25,12 +25,11 @@ func ProfiledLogLikelihood(p *Problem, rangeP, smoothness float64, cfg Config) (
 // ProfiledFit estimates θ̂ by maximizing the profile likelihood over
 // (θ₂, θ₃) and recovering θ̂₁ in closed form. It typically needs far fewer
 // likelihood evaluations than the full 3-parameter Fit for the same
-// accuracy (see the profiled-fit ablation benchmark). Convenience path
-// wrapping Session.ProfiledFit on a fresh Session.
+// accuracy (see the profiled-fit ablation benchmark).
+//
+// Deprecated: set FitOptions.Profiled and call Fit instead — ProfiledFit is
+// a thin wrapper kept for compatibility.
 func ProfiledFit(p *Problem, cfg Config, opts FitOptions) (FitResult, error) {
-	s, err := NewSession(p, cfg)
-	if err != nil {
-		return FitResult{}, err
-	}
-	return s.ProfiledFit(opts)
+	opts.Profiled = true
+	return Fit(p, cfg, opts)
 }

@@ -51,8 +51,10 @@ type Session struct {
 
 	inj *chaos.Injector // nil unless cfg.Chaos is set
 
-	ev  *evaluator     // shared-memory backend (Ranks == 1)
-	dev *distEvaluator // distributed backend (Ranks > 1)
+	// be is the evaluator backend the registry built for cfg.Mode/Ranks.
+	// All likelihood and kriging work routes through it; Session adds the
+	// busy guard and the (θ, nugget)-keyed predict cache on top.
+	be Backend
 
 	// inUse is the concurrent-entry guard: 0 idle, 1 inside a public
 	// evaluation method.
@@ -67,8 +69,8 @@ type Session struct {
 
 // predictCache is the solve state Predict and PredictWithVariance share,
 // keyed by the (θ, nugget) pair it was computed for. yFull and yHalf are
-// private copies and stay valid indefinitely; factor aliases the evaluator's
-// cached buffers and is only reusable while the evaluator's factorization
+// private copies and stay valid indefinitely; factor aliases the backend's
+// cached buffers and is only reusable while the backend's factorization
 // generation is unchanged (any interleaved evaluation at another θ
 // invalidates it — the generation comparison catches that).
 type predictCache struct {
@@ -79,8 +81,8 @@ type predictCache struct {
 	yFull []float64 // Σ₂₂⁻¹·Z₂ (Predict's weights)
 	yHalf []float64 // L⁻¹·Z₂ (PredictWithVariance's half-solved rhs)
 
-	factor Factor // shared-memory only; nil on the distributed backend
-	gen    uint64 // evaluator generation factor was produced at
+	factor Factor // FactorBackend modes only; nil on the distributed backend
+	gen    uint64 // backend generation factor was produced at
 }
 
 // NewSession validates cfg, normalizes its zero fields to the documented
@@ -108,17 +110,19 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 	if cfg.Chaos != nil {
 		s.inj = chaos.NewInjector(cfg.Chaos)
 	}
-	if cfg.Ranks > 1 {
-		dev, err := newDistEvaluator(p, cfg, s.inj)
-		if err != nil {
-			return nil, err
-		}
-		s.dev = dev
-	} else {
-		s.ev = newEvaluator(p, cfg, s.inj)
+	be, err := newBackend(p, cfg, s.inj)
+	if err != nil {
+		return nil, err
 	}
+	s.be = be
 	return s, nil
 }
+
+// Backend returns the evaluator backend the session routes through — the
+// registry-built object for the configured Mode. Useful for capability
+// checks (FactorBackend, CommBackend); the returned backend shares the
+// session's cached state and must not be used concurrently with it.
+func (s *Session) Backend() Backend { return s.be }
 
 // ChaosStats reports the faults the session's injector has raised so far
 // (the zero Stats when Config.Chaos is nil).
@@ -160,10 +164,7 @@ func (s *Session) LogLikelihood(theta cov.Params) (LikResult, error) {
 }
 
 func (s *Session) logLikelihood(theta cov.Params) (LikResult, error) {
-	if s.dev != nil {
-		return s.dev.logLikelihood(theta)
-	}
-	return s.ev.logLikelihood(theta)
+	return s.be.LogLikelihood(theta)
 }
 
 // ProfiledLogLikelihood evaluates the concentrated likelihood ℓ_p(θ₂, θ₃)
@@ -177,22 +178,24 @@ func (s *Session) ProfiledLogLikelihood(rangeP, smoothness float64) (logL, varia
 }
 
 func (s *Session) profiledLogLikelihood(rangeP, smoothness float64) (logL, varianceHat float64, err error) {
-	if s.dev != nil {
-		return s.dev.profiledLogLikelihood(rangeP, smoothness)
-	}
-	return s.ev.profiledLogLikelihood(rangeP, smoothness)
+	return s.be.ProfiledLogLikelihood(rangeP, smoothness)
 }
 
 // Fit estimates θ̂ by maximizing the log-likelihood with the derivative-free
 // optimizer. The search runs over log-transformed variance and range (their
 // scales span decades) and linear smoothness. Every objective call reuses
-// the session's cached factorization state.
+// the session's cached factorization state. With FitOptions.Profiled set the
+// variance is concentrated out analytically and the optimizer searches only
+// (θ₂, θ₃).
 func (s *Session) Fit(opts FitOptions) (FitResult, error) {
 	if err := s.acquire("Fit"); err != nil {
 		return FitResult{}, err
 	}
 	defer s.release()
 	o := opts.withDefaults(s.p)
+	if o.Profiled {
+		return s.profiledFit(o)
+	}
 
 	dim := 3
 	if o.FixSmoothness {
@@ -243,14 +246,18 @@ func (s *Session) Fit(opts FitOptions) (FitResult, error) {
 }
 
 // ProfiledFit estimates θ̂ via the concentrated likelihood over (θ₂, θ₃),
-// recovering θ̂₁ in closed form (see the package-level ProfiledFit).
+// recovering θ̂₁ in closed form.
+//
+// Deprecated: set FitOptions.Profiled and call Fit instead — ProfiledFit is
+// a thin wrapper kept for compatibility.
 func (s *Session) ProfiledFit(opts FitOptions) (FitResult, error) {
-	if err := s.acquire("ProfiledFit"); err != nil {
-		return FitResult{}, err
-	}
-	defer s.release()
-	o := opts.withDefaults(s.p)
+	opts.Profiled = true
+	return s.Fit(opts)
+}
 
+// profiledFit is Fit's concentrated-likelihood branch. The caller holds the
+// busy guard and has already applied the option defaults.
+func (s *Session) profiledFit(o FitOptions) (FitResult, error) {
 	dim := 2
 	if o.FixSmoothness {
 		dim = 1
@@ -352,31 +359,38 @@ func (s *Session) solveVector(k *cov.Kernel, theta cov.Params, nugget float64) (
 	}
 	cntPredictCacheMiss.Inc()
 	y := append([]float64(nil), s.p.Z...)
-	if s.dev != nil {
-		if err := s.dev.solve(k, nugget, y); err != nil {
+	fb, ok := s.be.(FactorBackend)
+	if !ok {
+		// No shareable factor (distributed backend): solve through the
+		// backend and cache only the weights.
+		if err := s.be.SolveVec(k, nugget, y); err != nil {
 			return nil, err
 		}
 		s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yFull: y}
 		return y, nil
 	}
-	f, err := s.ev.factorize(k, nugget)
+	f, err := fb.Factorize(k, nugget)
 	if err != nil {
 		return nil, err
 	}
 	f.Solve(y)
-	s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yFull: y, factor: f, gen: s.ev.gen}
+	s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yFull: y, factor: f, gen: fb.Generation()}
 	return y, nil
 }
 
 // cachedFactor returns the cached factorization for (θ, nugget) when it is
 // still alive: the key matches and no factorization has run since it was
-// produced (shared-memory backend only — distributed factors live sharded on
+// produced (FactorBackend modes only — distributed factors live sharded on
 // the ranks and are not cached).
 func (s *Session) cachedFactor(theta cov.Params, nugget float64) (Factor, []float64, bool) {
-	if s.ev == nil || !s.pred.valid || s.pred.factor == nil {
+	if !s.pred.valid || s.pred.factor == nil {
 		return nil, nil, false
 	}
-	if s.pred.theta != theta || s.pred.nugget != nugget || s.pred.gen != s.ev.gen {
+	fb, ok := s.be.(FactorBackend)
+	if !ok {
+		return nil, nil, false
+	}
+	if s.pred.theta != theta || s.pred.nugget != nugget || s.pred.gen != fb.Generation() {
 		return nil, nil, false
 	}
 	return s.pred.factor, s.pred.yHalf, true
@@ -433,8 +447,10 @@ func (s *Session) PredictWithVariance(newPts []geom.Point, theta cov.Params) (Pr
 		}
 	}
 
-	if s.dev != nil {
-		if err := s.dev.halfSolveChunked(k, nugget, newPts, chunk, s.p.Z, accumulate); err != nil {
+	if _, ok := s.be.(FactorBackend); !ok {
+		// No shareable factor (distributed backend): stream the column
+		// blocks through the backend's own chunked half-solve.
+		if err := s.be.HalfSolveChunked(k, nugget, newPts, chunk, s.p.Z, accumulate); err != nil {
 			return Prediction{}, err
 		}
 		return pr, nil
@@ -456,7 +472,7 @@ func (s *Session) PredictWithVariance(newPts []geom.Point, theta cov.Params) (Pr
 }
 
 // halfState returns the factorization and half-solved rhs y = L⁻¹·Z₂ for
-// (θ, nugget) on the shared-memory backend, reusing the cache when alive.
+// (θ, nugget) on a FactorBackend mode, reusing the cache when alive.
 func (s *Session) halfState(k *cov.Kernel, theta cov.Params, nugget float64) (Factor, []float64, error) {
 	if f, yHalf, ok := s.cachedFactor(theta, nugget); ok {
 		cntPredictCacheHit.Inc()
@@ -468,12 +484,13 @@ func (s *Session) halfState(k *cov.Kernel, theta cov.Params, nugget float64) (Fa
 		return f, yHalf, nil
 	}
 	cntPredictCacheMiss.Inc()
-	f, err := s.ev.factorize(k, nugget)
+	fb := s.be.(FactorBackend) // caller checked the capability
+	f, err := fb.Factorize(k, nugget)
 	if err != nil {
 		return nil, nil, err
 	}
 	yHalf := append([]float64(nil), s.p.Z...)
 	f.HalfSolve(yHalf)
-	s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yHalf: yHalf, factor: f, gen: s.ev.gen}
+	s.pred = predictCache{valid: true, theta: theta, nugget: nugget, yHalf: yHalf, factor: f, gen: fb.Generation()}
 	return f, yHalf, nil
 }

@@ -1,0 +1,220 @@
+package exprt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// ModesBench races every registered evaluator backend (`paperbench -modes`,
+// written as BENCH_modes.json) on one clustered-geometry dataset: the exact
+// dense backends (full-block, full-tile), the TLR backend, and the HODLR
+// backend all evaluate the same likelihood through the public Config knob.
+// For each backend it records the first evaluation (which pays assembly and
+// task-graph construction), the steady-state evaluation over fresh θ (warm
+// graph, full refactorization — the optimizer's inner loop), covariance
+// storage, compressed-rank structure, kriging-predict throughput on the
+// cached factor, and likelihood agreement with the dense reference. This is
+// the measured form of the paper's backend comparison: the approximate
+// factorizations must shrink memory and time while staying within solver
+// tolerance of the exact answer.
+
+// ModeRow is one backend on the shared dataset.
+type ModeRow struct {
+	Mode    string `json:"mode"`
+	Aliases string `json:"aliases,omitempty"`
+
+	// First evaluation: assembly + graph build + factorization.
+	FirstEvalMS float64 `json:"first_eval_ms"`
+	// Steady-state evaluation: mean over fresh θ on the warm session.
+	SteadyEvalMS float64 `json:"steady_eval_ms"`
+	SteadyEvals  int     `json:"steady_evals"`
+
+	// Storage and rank structure from the evaluation diagnostics.
+	Bytes    int64   `json:"bytes"`
+	MaxRank  int     `json:"max_rank,omitempty"`
+	MeanRank float64 `json:"mean_rank,omitempty"`
+
+	// Predict throughput on the cached factor (points per second).
+	PredictPointsPerSec float64 `json:"predict_points_per_sec"`
+
+	// Accuracy vs the full-block row: same dataset, same θ.
+	LogLik          float64 `json:"loglik"`
+	RelErrVsDense   float64 `json:"rel_err_vs_dense"`
+	WithinSolverTol bool    `json:"within_solver_tol"`
+}
+
+// ModesAcceptance is the report's pass/fail summary: every backend must
+// agree with the dense reference to solver tolerance, and the compressed
+// backends must actually compress.
+type ModesAcceptance struct {
+	AllWithinSolverTol bool `json:"all_within_solver_tol"`
+	TLRCompresses      bool `json:"tlr_compresses"`
+	HODLRCompresses    bool `json:"hodlr_compresses"`
+	Pass               bool `json:"pass"`
+}
+
+// ModesBenchReport is the JSON payload of BENCH_modes.json.
+type ModesBenchReport struct {
+	N          int             `json:"n"`
+	NB         int             `json:"nb"`
+	Tol        float64         `json:"tol"`
+	Compressor string          `json:"compressor"`
+	Ordering   string          `json:"ordering"`
+	Geometry   string          `json:"geometry"`
+	Rows       []ModeRow       `json:"rows"`
+	Acceptance ModesAcceptance `json:"acceptance"`
+}
+
+// ModesBench races the four backends at n=1600, nb=128, acc=1e-9 on a
+// clustered geometry under the Hilbert ordering.
+func ModesBench(o Options) (*ModesBenchReport, error) {
+	o = o.withDefaults()
+	const (
+		n           = 1600
+		nb          = 128
+		tol         = 1e-9
+		solverTol   = 1e-6 // likelihood agreement vs dense, rel
+		steadyEvals = 3
+		predictPts  = 64
+		predictReps = 4
+	)
+	th := maternRef()
+	k := cov.NewKernel(th)
+
+	pts := geom.GenerateClustered(n, 8, 0.02, rng.New(o.Seed+11))
+	z, err := cov.SampleField(k, pts, geom.Euclidean, rng.New(o.Seed+13).Split(3))
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblemOrdered(pts, z, geom.Euclidean, geom.None)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(o.Seed + 17)
+	query := make([]geom.Point, predictPts)
+	for i := range query {
+		query[i] = geom.Point{X: r.Float64(), Y: r.Float64()}
+	}
+
+	rep := &ModesBenchReport{N: n, NB: nb, Tol: tol, Compressor: "rsvd",
+		Ordering: geom.OrderHilbert, Geometry: "clustered"}
+	var denseLik float64
+	for _, name := range core.ModeNames() {
+		mode, err := core.ModeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{Mode: mode, TileSize: nb, Accuracy: tol,
+			CompressorName: "rsvd", Workers: o.Workers, Ordering: geom.OrderHilbert}
+		s, err := core.NewSession(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		t0 := time.Now()
+		lik, err := s.LogLikelihood(th)
+		if err != nil {
+			return nil, err
+		}
+		row := ModeRow{
+			Mode:        name,
+			FirstEvalMS: ms(time.Since(t0).Seconds()),
+			Bytes:       lik.Bytes,
+			MaxRank:     lik.MaxRank, MeanRank: lik.MeanRank,
+			LogLik:      lik.Value,
+			SteadyEvals: steadyEvals,
+		}
+
+		// Steady state: fresh θ each time, so the warm session refactorizes
+		// through its cached task graph — the optimizer's inner loop.
+		t0 = time.Now()
+		for i := 0; i < steadyEvals; i++ {
+			thi := th
+			thi.Range *= 1 + 0.02*float64(i+1)
+			if _, err := s.LogLikelihood(thi); err != nil {
+				return nil, err
+			}
+		}
+		row.SteadyEvalMS = ms(time.Since(t0).Seconds() / steadyEvals)
+
+		// Predict throughput: first call warms the θ-cached factor, the
+		// timed loop measures pure solve + cross-covariance serving cost.
+		if _, err := s.Predict(query, th); err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		for i := 0; i < predictReps; i++ {
+			if _, err := s.Predict(query, th); err != nil {
+				return nil, err
+			}
+		}
+		row.PredictPointsPerSec = float64(predictPts*predictReps) / time.Since(t0).Seconds()
+
+		if mode == core.FullBlock {
+			denseLik = lik.Value
+		}
+		row.RelErrVsDense = math.Abs(lik.Value-denseLik) / math.Abs(denseLik)
+		row.WithinSolverTol = row.RelErrVsDense <= solverTol
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// Acceptance: approximation must not change the answer, and must buy
+	// something for it — less memory than the dense factor.
+	acc := ModesAcceptance{AllWithinSolverTol: true}
+	var denseBytes int64
+	for _, r := range rep.Rows {
+		if r.Mode == "full-block" {
+			denseBytes = r.Bytes
+		}
+	}
+	for _, r := range rep.Rows {
+		if !r.WithinSolverTol {
+			acc.AllWithinSolverTol = false
+		}
+		switch r.Mode {
+		case "tlr":
+			acc.TLRCompresses = r.Bytes < denseBytes
+		case "hodlr":
+			acc.HODLRCompresses = r.Bytes < denseBytes
+		}
+	}
+	acc.Pass = acc.AllWithinSolverTol && acc.TLRCompresses && acc.HODLRCompresses
+	rep.Acceptance = acc
+	return rep, nil
+}
+
+// WriteModesBench runs ModesBench and writes the JSON report to path,
+// echoing a summary table to o.Out.
+func WriteModesBench(path string, o Options) error {
+	o = o.withDefaults()
+	rep, err := ModesBench(o)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "modes bench n=%d nb=%d tol=%g %s ordering=%s %s -> %s\n",
+		rep.N, rep.NB, rep.Tol, rep.Compressor, rep.Ordering, rep.Geometry, path)
+	for _, r := range rep.Rows {
+		fmt.Fprintf(o.Out, "  %-10s first %8.1fms steady %8.1fms  %8.1fKB  rank max %3d mean %5.1f  predict %7.0f pts/s  rel err %.1e\n",
+			r.Mode, r.FirstEvalMS, r.SteadyEvalMS, float64(r.Bytes)/1024,
+			r.MaxRank, r.MeanRank, r.PredictPointsPerSec, r.RelErrVsDense)
+	}
+	fmt.Fprintf(o.Out, "  acceptance: within tol %v, tlr compresses %v, hodlr compresses %v -> pass=%v\n",
+		rep.Acceptance.AllWithinSolverTol, rep.Acceptance.TLRCompresses,
+		rep.Acceptance.HODLRCompresses, rep.Acceptance.Pass)
+	return nil
+}

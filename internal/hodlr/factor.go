@@ -1,0 +1,250 @@
+// HODLR Cholesky factorization and triangular solves. The recursion on a
+// 2×2-partitioned SPD matrix
+//
+//	A = [A11 A21ᵀ; A21 A22]
+//
+// is the block algorithm: factor A11 = L11·L11ᵀ (recursively), form the
+// panel L21 = A21·L11⁻ᵀ, downdate the Schur complement A22 −= L21·L21ᵀ, and
+// factor the downdated A22 recursively. With A21 = U·Vᵀ compressed, the
+// panel solve is Ṽ = L11⁻¹·V (the U factor never moves) and the Schur
+// update is the rank-k correction U·S·Uᵀ with S = ṼᵀṼ computed once per
+// panel. The correction is scattered over the right subtree: dense leaves
+// absorb their diagonal block of it exactly; off-diagonal blocks absorb
+// theirs through a recompressing low-rank addition (tlr.AddLowRank), which
+// is where the format's approximation lives.
+//
+// After Cholesky the tree holds L in place: leaves carry dense Cholesky
+// factors, off blocks carry L21 in compressed (or dense-fallback) form, and
+// the solves walk the tree exactly like MatVec does.
+package hodlr
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+	"repro/internal/tlr"
+)
+
+// Cholesky factors the assembled matrix in place: A = L·Lᵀ. On a
+// non-positive-definite pivot the error wraps la.ErrNotPositiveDefinite and
+// the tree is left partially factored — regenerate (Build or a GenSpec
+// graph execution) before retrying, e.g. with a larger nugget.
+//
+// The factorization is deterministic: the operation order is fixed by the
+// tree structure, so repeated factorizations of the same matrix are
+// bitwise-identical (the property the task-parallel execution in gen.go
+// preserves at any worker count).
+func (m *Matrix) Cholesky() error {
+	return m.root.cholesky(m.Tol)
+}
+
+func (n *node) cholesky(tol float64) error {
+	if n.dense != nil {
+		return n.potrf()
+	}
+	if err := n.left.cholesky(tol); err != nil {
+		return err
+	}
+	n.factorPanel()
+	for _, d := range n.right.nodes(nil) {
+		n.applySchur(d, tol)
+	}
+	return n.right.cholesky(tol)
+}
+
+// potrf factors a dense leaf in place.
+func (n *node) potrf() error {
+	if err := la.Potrf(n.dense); err != nil {
+		return fmt.Errorf("hodlr: leaf [%d,%d): %w", n.lo, n.hi, err)
+	}
+	return nil
+}
+
+// factorPanel turns the off block A21 into the panel L21 = A21·L11⁻ᵀ, using
+// the already-factored left subtree, and caches S = ṼᵀṼ for the Schur
+// updates. For a compressed block only V moves: L21 = U·(L11⁻¹·V)ᵀ. For a
+// dense block (compression-miss fallback) the whole panel is solved.
+func (n *node) factorPanel() {
+	t := n.off
+	n.schurS = nil
+	switch {
+	case t.IsDense():
+		// L21ᵀ = L11⁻¹·A21ᵀ
+		dt := t.D.T()
+		n.left.forwardSolveMat(dt, n.lo)
+		t.D = dt.T()
+	case t.Rank() > 0:
+		n.left.forwardSolveMat(t.V, n.lo)
+		k := t.Rank()
+		s := la.NewMat(k, k)
+		la.Gemm(1, t.V, la.Transpose, t.V, la.NoTrans, 0, s)
+		n.schurS = s
+	}
+}
+
+// applySchur subtracts this panel's block of the Schur correction
+// L21·L21ᵀ from descendant d of the right subtree: the diagonal slice for a
+// leaf, the (d.right × d.left) slice for an internal node's off block. Each
+// target is touched by at most one task per panel, and distinct targets are
+// independent — the parallelism the task graph exploits.
+func (n *node) applySchur(d *node, tol float64) {
+	mid := n.left.hi
+	t := n.off
+	if t.IsDense() {
+		p := t.D // the dense panel L21, rows global [mid, n.hi)
+		if d.dense != nil {
+			pd := p.View(d.lo-mid, 0, d.hi-d.lo, p.Cols)
+			la.Gemm(-1, pd, la.NoTrans, pd, la.Transpose, 1, d.dense)
+			return
+		}
+		dmid := d.left.hi
+		x := p.View(dmid-mid, 0, d.hi-dmid, p.Cols)
+		y := p.View(d.lo-mid, 0, dmid-d.lo, p.Cols)
+		d.off = tlr.AddLowRank(d.off, -1, x, y, tol, 0)
+		return
+	}
+	if t.Rank() == 0 {
+		return
+	}
+	u, s := t.U, n.schurS
+	if d.dense != nil {
+		ud := u.View(d.lo-mid, 0, d.hi-d.lo, u.Cols)
+		us := la.NewMat(ud.Rows, s.Cols)
+		la.Gemm(1, ud, la.NoTrans, s, la.NoTrans, 0, us)
+		la.Gemm(-1, us, la.NoTrans, ud, la.Transpose, 1, d.dense)
+		return
+	}
+	dmid := d.left.hi
+	ur := u.View(dmid-mid, 0, d.hi-dmid, u.Cols)
+	ul := u.View(d.lo-mid, 0, dmid-d.lo, u.Cols)
+	x := la.NewMat(ur.Rows, s.Cols)
+	la.Gemm(1, ur, la.NoTrans, s, la.NoTrans, 0, x)
+	d.off = tlr.AddLowRank(d.off, -1, x, ul, tol, 0)
+}
+
+// LogDet returns log|A| from the factored tree: 2·Σ log L_ii accumulated
+// over the dense leaves. Valid only after Cholesky.
+func (m *Matrix) LogDet() float64 { return m.root.logDet() }
+
+func (n *node) logDet() float64 {
+	if n.dense != nil {
+		return la.LogDetFromChol(n.dense)
+	}
+	return n.left.logDet() + n.right.logDet()
+}
+
+// ForwardSolve overwrites b with L⁻¹·b (forward substitution over the tree).
+func (m *Matrix) ForwardSolve(b []float64) {
+	if len(b) != m.N {
+		panic(fmt.Sprintf("hodlr: solve length %d for n=%d", len(b), m.N))
+	}
+	m.root.forwardSolve(b)
+}
+
+func (n *node) forwardSolve(b []float64) {
+	if n.dense != nil {
+		la.ForwardSolveVec(n.dense, b[n.lo:n.hi])
+		return
+	}
+	n.left.forwardSolve(b)
+	mid := n.left.hi
+	// b2 −= L21·x1
+	tlr.MatVec(n.off, -1, b[n.lo:mid], b[mid:n.hi])
+	n.right.forwardSolve(b)
+}
+
+// BackwardSolve overwrites b with L⁻ᵀ·b.
+func (m *Matrix) BackwardSolve(b []float64) {
+	if len(b) != m.N {
+		panic(fmt.Sprintf("hodlr: solve length %d for n=%d", len(b), m.N))
+	}
+	m.root.backwardSolve(b)
+}
+
+func (n *node) backwardSolve(b []float64) {
+	if n.dense != nil {
+		bm := la.NewMatFrom(n.hi-n.lo, 1, b[n.lo:n.hi])
+		la.Trsm(la.Left, la.Lower, la.Transpose, 1, n.dense, bm)
+		return
+	}
+	mid := n.left.hi
+	n.right.backwardSolve(b)
+	// b1 −= L21ᵀ·x2
+	tlr.MatVecT(n.off, -1, b[mid:n.hi], b[n.lo:mid])
+	n.left.backwardSolve(b)
+}
+
+// Solve overwrites b with A⁻¹·b (forward then backward substitution).
+func (m *Matrix) Solve(b []float64) {
+	m.ForwardSolve(b)
+	m.BackwardSolve(b)
+}
+
+// ForwardSolveMat overwrites the N×r block B with L⁻¹·B.
+func (m *Matrix) ForwardSolveMat(b *la.Mat) {
+	if b.Rows != m.N {
+		panic(fmt.Sprintf("hodlr: solve-mat rows %d for n=%d", b.Rows, m.N))
+	}
+	m.root.forwardSolveMat(b, 0)
+}
+
+// forwardSolveMat solves over the subtree; b's row 0 is global index base.
+func (n *node) forwardSolveMat(b *la.Mat, base int) {
+	if n.dense != nil {
+		la.Trsm(la.Left, la.Lower, la.NoTrans, 1, n.dense, b.View(n.lo-base, 0, n.hi-n.lo, b.Cols))
+		return
+	}
+	n.left.forwardSolveMat(b, base)
+	mid := n.left.hi
+	tlr.MatMul(n.off, -1, b.View(n.lo-base, 0, mid-n.lo, b.Cols), b.View(mid-base, 0, n.hi-mid, b.Cols))
+	n.right.forwardSolveMat(b, base)
+}
+
+// BackwardSolveMat overwrites the N×r block B with L⁻ᵀ·B.
+func (m *Matrix) BackwardSolveMat(b *la.Mat) {
+	if b.Rows != m.N {
+		panic(fmt.Sprintf("hodlr: solve-mat rows %d for n=%d", b.Rows, m.N))
+	}
+	m.root.backwardSolveMat(b, 0)
+}
+
+func (n *node) backwardSolveMat(b *la.Mat, base int) {
+	if n.dense != nil {
+		la.Trsm(la.Left, la.Lower, la.Transpose, 1, n.dense, b.View(n.lo-base, 0, n.hi-n.lo, b.Cols))
+		return
+	}
+	mid := n.left.hi
+	n.right.backwardSolveMat(b, base)
+	tlr.MatMulT(n.off, -1, b.View(mid-base, 0, n.hi-mid, b.Cols), b.View(n.lo-base, 0, mid-n.lo, b.Cols))
+	n.left.backwardSolveMat(b, base)
+}
+
+// SolveMat overwrites the N×r block B with A⁻¹·B (multi-RHS solve).
+func (m *Matrix) SolveMat(b *la.Mat) {
+	m.ForwardSolveMat(b)
+	m.BackwardSolveMat(b)
+}
+
+// RankStats returns the (max, mean) rank over the compressed off-diagonal
+// blocks; dense-fallback blocks count at their full minimum dimension.
+func (m *Matrix) RankStats() (int, float64) {
+	var max, sum, cnt int
+	for _, d := range m.root.nodes(nil) {
+		if d.left == nil || d.off == nil {
+			continue
+		}
+		r := d.off.Rank()
+		if d.off.IsDense() {
+			r = min(d.off.Rows(), d.off.Cols())
+		}
+		if r > max {
+			max = r
+		}
+		sum += r
+		cnt++
+	}
+	if cnt == 0 {
+		return 0, 0
+	}
+	return max, float64(sum) / float64(cnt)
+}

@@ -37,6 +37,23 @@ type node struct {
 	// internal
 	left, right *node
 	off         *tlr.CompTile // rows = right range, cols = left range
+
+	// schurS caches S = ṼᵀṼ, computed once by the panel solve of the
+	// Cholesky factorization (factor.go) and consumed by every Schur update
+	// the panel feeds. Nil before factorization and for dense/rank-0 panels.
+	schurS *la.Mat
+}
+
+// nodes appends every node of the subtree in pre-order (self, left, right) —
+// the deterministic enumeration the factorization uses for Schur-update
+// targets and the task graph uses for handle layout.
+func (n *node) nodes(out []*node) []*node {
+	out = append(out, n)
+	if n.left != nil {
+		out = n.left.nodes(out)
+		out = n.right.nodes(out)
+	}
+	return out
 }
 
 // Build assembles a HODLR representation of Σ(θ) over pts with the given

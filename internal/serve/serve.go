@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,8 +59,13 @@ var (
 // nameRE bounds model names to filesystem- and URL-safe tokens.
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
 
+// cntPredictShed counts queued predictions dropped because the requesting
+// client disconnected before the worker reached them.
+var cntPredictShed = obs.GetCounter("serve.predict.shed")
+
 // predictJob is one prediction request handed to a model's worker.
 type predictJob struct {
+	ctx          context.Context // request context; a cancelled job is shed unrun
 	points       []geom.Point
 	withVariance bool
 	reply        chan predictResult // buffered(1): the worker never blocks
@@ -97,6 +103,14 @@ func (m *model) run() {
 }
 
 func (m *model) do(job *predictJob) predictResult {
+	// A request whose client already went away only wastes the session's
+	// serialized solve time — shed it before touching the Session.
+	if job.ctx != nil {
+		if err := job.ctx.Err(); err != nil {
+			cntPredictShed.Inc()
+			return predictResult{err: err}
+		}
+	}
 	start := time.Now()
 	if job.withVariance {
 		pr, err := m.sess.PredictWithVariance(job.points, m.theta)
@@ -161,23 +175,34 @@ type Server struct {
 	endpoints []string // instrumented endpoint names, for /metrics
 }
 
-// New builds a server with its routes mounted.
+// New builds a server with its routes mounted. Every route lives under the
+// versioned /v1/ prefix; the original unversioned paths stay mounted as
+// aliases of the same handlers, so existing clients keep working while new
+// ones pin /v1. Each endpoint is instrumented once — both mounts share one
+// histogram and counter set.
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg.withDefaults(),
 		mux:    http.NewServeMux(),
 		models: map[string]*model{},
 	}
-	s.mux.HandleFunc("POST /models", s.instrument("create", s.handleCreate))
-	s.mux.HandleFunc("GET /models", s.instrument("list", s.handleList))
-	s.mux.HandleFunc("GET /models/{name}", s.instrument("get", s.handleGet))
-	s.mux.HandleFunc("DELETE /models/{name}", s.instrument("delete", s.handleDelete))
-	s.mux.HandleFunc("POST /models/{name}/predict", s.instrument("predict", s.handlePredict))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mount := func(method, path, name string, h func(http.ResponseWriter, *http.Request) int) {
+		wrapped := s.instrument(name, h)
+		s.mux.HandleFunc(method+" /v1"+path, wrapped)
+		s.mux.HandleFunc(method+" "+path, wrapped)
+	}
+	mount("POST", "/models", "create", s.handleCreate)
+	mount("GET", "/models", "list", s.handleList)
+	mount("GET", "/models/{name}", "get", s.handleGet)
+	mount("DELETE", "/models/{name}", "delete", s.handleDelete)
+	mount("POST", "/models/{name}/predict", "predict", s.handlePredict)
+	mount("GET", "/metrics", "metrics", s.handleMetrics)
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
-	})
+	}
+	s.mux.HandleFunc("GET /v1/healthz", healthz)
+	s.mux.HandleFunc("GET /healthz", healthz)
 	return s
 }
 
@@ -230,16 +255,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) i
 	return writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// parseMode resolves a wire-format mode name through core's backend
+// registry, so new backend registrations become servable without touching
+// this package. An empty name keeps the historical full-block default.
 func parseMode(s string) (core.Mode, error) {
-	switch s {
-	case "", core.FullBlock.String():
+	if s == "" {
 		return core.FullBlock, nil
-	case core.FullTile.String():
-		return core.FullTile, nil
-	case core.TLR.String():
-		return core.TLR, nil
 	}
-	return 0, fmt.Errorf("unknown mode %q (want full-block, full-tile, or tlr)", s)
+	return core.ModeByName(s)
 }
 
 func toCoreConfig(mc ModelConfig) (core.Config, error) {
@@ -355,17 +378,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 		if spec == nil {
 			spec = &FitSpec{}
 		}
-		opts := core.FitOptions{MaxEvals: spec.MaxEvals, FixSmoothness: spec.FixSmoothness}
+		opts := core.FitOptions{MaxEvals: spec.MaxEvals, FixSmoothness: spec.FixSmoothness, Profiled: spec.Profiled}
 		if spec.Start != nil {
 			opts.Start = toCovParams(*spec.Start)
 		}
 		fitStart := time.Now()
-		var fit core.FitResult
-		if spec.Profiled {
-			fit, err = sess.ProfiledFit(opts)
-		} else {
-			fit, err = sess.Fit(opts)
-		}
+		fit, err := sess.Fit(opts)
 		if err != nil {
 			return writeError(w, http.StatusUnprocessableEntity, "fit failed: %v", err)
 		}
@@ -472,6 +490,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	}
 
 	job := &predictJob{
+		ctx:          r.Context(),
 		points:       toGeomPoints(req.Points),
 		withVariance: req.WithVariance,
 		reply:        make(chan predictResult, 1),
@@ -486,9 +505,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	select {
 	case res = <-job.reply:
 	case <-r.Context().Done():
-		// Client gone; the worker still runs the job (reply is buffered so
-		// it never blocks) but there is nobody to write to.
-		return http.StatusServiceUnavailable
+		// Client gone. The job carries the request context, so the worker
+		// sheds it unrun if it is still queued when its turn comes; the reply
+		// is buffered, so the worker never blocks on the absent reader. The
+		// 503 write is usually lost on the dead connection but keeps the
+		// endpoint's error accounting exact.
+		return writeError(w, http.StatusServiceUnavailable, "client disconnected")
+	}
+	if res.err != nil && errors.Is(res.err, context.Canceled) {
+		return writeError(w, http.StatusServiceUnavailable, "request cancelled before execution")
 	}
 	if res.err != nil {
 		// Server-side solve failure. ErrSessionBusy here would mean the

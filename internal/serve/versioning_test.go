@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestV1AndLegacyRoutesServeSameAPI pins the wire-versioning contract: every
+// endpoint answers under /v1/ and under its original unversioned path, from
+// the same handler.
+func TestV1AndLegacyRoutesServeSameAPI(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	pts, z := testDataset(t, 120, 31)
+	req := CreateModelRequest{Name: "m", Points: pts, Z: z, Theta: &testTheta}
+	if code := do(t, s, "POST", "/v1/models", req, nil); code != http.StatusCreated {
+		t.Fatalf("create via /v1: status %d", code)
+	}
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+	}
+	query := PredictRequest{Points: []Point{{X: 0.5, Y: 0.5}}}
+	var v1, legacy PredictResponse
+	if code := do(t, s, "POST", "/v1/models/m/predict", query, &v1); code != http.StatusOK {
+		t.Fatalf("predict via /v1: status %d", code)
+	}
+	if code := do(t, s, "POST", "/models/m/predict", query, &legacy); code != http.StatusOK {
+		t.Fatalf("predict via legacy path: status %d", code)
+	}
+	if v1.Mean[0] != legacy.Mean[0] {
+		t.Fatalf("v1 and legacy predictions disagree: %g vs %g", v1.Mean[0], legacy.Mean[0])
+	}
+	var list ListModelsResponse
+	if code := do(t, s, "GET", "/v1/models", nil, &list); code != http.StatusOK || len(list.Models) != 1 {
+		t.Fatalf("list via /v1: %d models, status %d", len(list.Models), code)
+	}
+	var m MetricsResponse
+	if code := do(t, s, "GET", "/v1/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics via /v1: status %d", code)
+	}
+	// Both mounts share one instrumented handler: the predict histogram must
+	// have counted both requests above under a single endpoint entry.
+	if m.Endpoints["predict"].Count < 2 {
+		t.Fatalf("predict endpoint counted %d requests, want both mounts pooled", m.Endpoints["predict"].Count)
+	}
+	if code := do(t, s, "DELETE", "/v1/models/m", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete via /v1: status %d", code)
+	}
+}
+
+// TestServeRegistryModes: the wire API accepts every registered backend name
+// (via core's registry), including the HODLR mode end to end.
+func TestServeRegistryModes(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	pts, z := testDataset(t, 120, 32)
+	for _, mode := range []string{"hodlr", "full-tile"} {
+		req := CreateModelRequest{
+			Name: "m-" + mode, Points: pts, Z: z, Theta: &testTheta,
+			Config: ModelConfig{Mode: mode, TileSize: 32, Accuracy: 1e-9},
+		}
+		var info ModelInfo
+		if code := do(t, s, "POST", "/v1/models", req, &info); code != http.StatusCreated {
+			t.Fatalf("create mode %q: status %d", mode, code)
+		}
+		var resp PredictResponse
+		if code := do(t, s, "POST", "/v1/models/m-"+mode+"/predict",
+			PredictRequest{Points: []Point{{X: 0.5, Y: 0.5}}}, &resp); code != http.StatusOK {
+			t.Fatalf("predict mode %q: status %d", mode, code)
+		}
+	}
+}
+
+// TestCancelledQueuedPredictIsShed: a predict whose client disconnects while
+// the job is still queued must be dropped by the worker without touching the
+// session, counted by serve.predict.shed.
+func TestCancelledQueuedPredictIsShed(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	pts, z := testDataset(t, 120, 33)
+	if code := do(t, s, "POST", "/v1/models",
+		CreateModelRequest{Name: "m", Points: pts, Z: z, Theta: &testTheta}, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	m, ok := s.lookup("m")
+	if !ok {
+		t.Fatal("model missing")
+	}
+	before := obs.Default().Snapshot().Counters["serve.predict.shed"]
+
+	// Enqueue directly with an already-cancelled context, as the HTTP layer
+	// does when the client goes away while the job waits its turn.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := &predictJob{
+		ctx:    ctx,
+		points: toGeomPoints([]Point{{X: 0.5, Y: 0.5}}),
+		reply:  make(chan predictResult, 1),
+	}
+	if err := m.enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-job.reply:
+		if res.err == nil {
+			t.Fatal("cancelled job ran to completion instead of being shed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never answered the cancelled job")
+	}
+	after := obs.Default().Snapshot().Counters["serve.predict.shed"]
+	if after != before+1 {
+		t.Fatalf("serve.predict.shed went %d → %d, want one shed job", before, after)
+	}
+
+	// A live request through the full HTTP path still works afterwards.
+	var resp PredictResponse
+	if code := do(t, s, "POST", "/v1/models/m/predict",
+		PredictRequest{Points: []Point{{X: 0.5, Y: 0.5}}}, &resp); code != http.StatusOK {
+		t.Fatalf("post-shed predict: status %d", code)
+	}
+}
+
+// TestPredictCarriesRequestContext: the HTTP handler threads r.Context()
+// into the queued job.
+func TestPredictCarriesRequestContext(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	pts, z := testDataset(t, 120, 34)
+	if code := do(t, s, "POST", "/v1/models",
+		CreateModelRequest{Name: "m", Points: pts, Z: z, Theta: &testTheta}, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	body, _ := json.Marshal(PredictRequest{Points: []Point{{X: 0.5, Y: 0.5}}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/models/m/predict", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled request: status %d, want 503", rec.Code)
+	}
+}
