@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench modesbench serve servebench clean
+.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench modesbench serve servebench oocbench oocsmoke clean
 
 build:
 	$(GO) build ./...
@@ -9,15 +9,16 @@ test:
 	$(GO) test ./...
 
 # verify is the pre-merge gate: vet, a focused uncached race pass over the
-# message-passing, session, metrics, spatial-ordering and HODLR layers (the
-# rank goroutines, mailboxes, backend registry and caches, lock-free
-# instruments, the ordering determinism contract and the hierarchical
-# factorization's task graph are the point), then the full suite under the
-# race detector (parallel assembly and scheduler paths).
+# message-passing, session, metrics, spatial-ordering, HODLR and out-of-core
+# tile-store layers (the rank goroutines, mailboxes, backend registry and
+# caches, lock-free instruments, the ordering determinism contract, the
+# hierarchical factorization's task graph, and the store's pin/evict
+# concurrency are the point), then the full suite under the race detector
+# (parallel assembly and scheduler paths).
 verify:
 	$(GO) vet ./...
-	$(GO) test -race -count=1 ./internal/mpi/... ./internal/core/... ./internal/obs/... ./internal/geom/... ./internal/hodlr/...
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 -timeout 45m ./internal/mpi/... ./internal/core/... ./internal/obs/... ./internal/geom/... ./internal/hodlr/... ./internal/tlr/store/...
+	$(GO) test -race -timeout 45m ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -63,6 +64,20 @@ orderbench:
 # storage, rank structure, predict throughput, agreement with dense.
 modesbench:
 	$(GO) run ./cmd/paperbench -modes BENCH_modes.json
+
+# oocbench regenerates the out-of-core proof: the n=100k TLR likelihood
+# under a memory budget several times below the matrix (bitwise vs the
+# unbounded run), the interrupted-fit checkpoint resume, and the 2.4M-point
+# Mississippi cluster replay. Heavy — tens of minutes on one core.
+oocbench:
+	$(GO) run ./cmd/paperbench -ooc BENCH_ooc.json
+
+# oocsmoke is the fast slice of the out-of-core layer: store eviction under
+# -race, eviction-under-retry bitwise replay, the bounded-session and
+# checkpoint-resume equivalences, and the real SIGKILL-and-resume subprocess
+# smoke.
+oocsmoke:
+	$(GO) test -race -count=1 -run 'OOC|Pin|Store|Evict|Blob|MemBudget|Checkpoint|KillAndResume' ./internal/tlr/... ./internal/runtime/... ./internal/core/... ./internal/dataio/...
 
 # serve runs the kriging service (cmd/exaserve) on :8080.
 serve:

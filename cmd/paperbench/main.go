@@ -36,6 +36,7 @@ func main() {
 		order   = flag.String("order", "", "run the spatial-ordering sweep (none/morton/hilbert/kdblock x uniform/clustered: tile ranks, TLR bytes, factor makespan, per-rank comm), write the JSON report to this path (e.g. BENCH_order.json), and exit")
 		servep  = flag.String("serve", "", "run the kriging-service load test (boot exaserve in-process, 10k concurrent predicts: p50/p99 latency, predictions/sec, exact-match + one-factorization evidence), write the JSON report to this path (e.g. BENCH_serve.json), and exit")
 		modes   = flag.String("modes", "", "race every registered evaluator backend (full-block/full-tile/tlr/hodlr) on one clustered dataset: first/steady eval time, storage, rank structure, predict throughput, agreement with dense; write the JSON report to this path (e.g. BENCH_modes.json), and exit")
+		ooc     = flag.String("ooc", "", "run the out-of-core proof (n=100k TLR likelihood under a memory budget several times below the matrix, bitwise vs unbounded; interrupted-fit checkpoint resume; 2.4M-point cluster replay), write the JSON report to this path (e.g. BENCH_ooc.json), and exit")
 	)
 	flag.Parse()
 
@@ -96,6 +97,15 @@ func main() {
 	if *order != "" {
 		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
 		if err := exprt.WriteOrderBench(*order, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ooc != "" {
+		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+		if err := exprt.WriteOOCBench(*ooc, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tlr"
+	"repro/internal/tlr/store"
 )
 
 // Graph-reuse counters for the TLR mode: the fused generate+compress+Cholesky
@@ -34,11 +35,14 @@ func init() {
 // tlrState is the TLR mode's cached state: the tile shell (diagonal buffers
 // + compressed-tile slots), the handle layout, the generation scratch pool,
 // and the fused generate+compress+Cholesky DAG — only ranks and tile
-// contents are rebuilt per θ.
+// contents are rebuilt per θ. With Config.MemBudget > 0 the shell is bound
+// to an out-of-core tile store whose spill file lives as long as the state
+// (released by Close).
 type tlrState struct {
 	tm    *tlr.Matrix    // tile shell
 	tspec *tlr.GenSpec   // mutable kernel/nugget slot read by the gen tasks
 	tg    *runtime.Graph // fused generate+compress + factorization DAG
+	st    *store.Store   // out-of-core tile store; nil when MemBudget == 0
 }
 
 func (st *tlrState) factorizeOnce(e *localBackend, k *cov.Kernel, nugget float64) (Factor, error) {
@@ -52,7 +56,17 @@ func (st *tlrState) factorizeOnce(e *localBackend, k *cov.Kernel, nugget float64
 		if e.inj != nil {
 			st.tspec.ForceMiss = e.inj.CompressMiss
 		}
-		st.tg = tlr.BuildGenCholeskyGraph(st.tm, st.tspec, true)
+		if e.cfg.MemBudget > 0 {
+			gg := tlr.NewGenCholeskyGraph(st.tm, st.tspec, true)
+			ts, err := store.NewTemp(e.cfg.SpillDir, e.cfg.MemBudget)
+			if err != nil {
+				return nil, fmt.Errorf("core: out-of-core spill file: %w", err)
+			}
+			tlr.AttachOOC(gg, st.tm, ts)
+			st.tg, st.st = gg.G, ts
+		} else {
+			st.tg = tlr.BuildGenCholeskyGraph(st.tm, st.tspec, true)
+		}
 		cntCacheTLRMiss.Inc()
 	} else {
 		cntCacheTLRHit.Inc()
@@ -62,7 +76,29 @@ func (st *tlrState) factorizeOnce(e *localBackend, k *cov.Kernel, nugget float64
 	if err := e.run(st.tg); err != nil {
 		return nil, fmt.Errorf("core: %s factorization: %w", e.cfg.Mode, err)
 	}
+	if st.st != nil {
+		if err := st.st.Err(); err != nil {
+			return nil, fmt.Errorf("core: out-of-core spill: %w", err)
+		}
+	}
 	return tlrFactor{m: st.tm}, nil
+}
+
+// Close releases the out-of-core spill file; a no-op for in-memory sessions.
+func (st *tlrState) Close() error {
+	if st.st == nil {
+		return nil
+	}
+	return st.st.Close()
+}
+
+// storeStats reports the tile store's peak resident bytes and spill-file
+// size for Session.StoreStats.
+func (st *tlrState) storeStats() (highWater, spilled int64, ok bool) {
+	if st.st == nil {
+		return 0, 0, false
+	}
+	return st.st.HighWater(), st.st.SpillSize(), true
 }
 
 // tlrFactor wraps a TLR factorization.

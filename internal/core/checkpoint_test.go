@@ -1,0 +1,88 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fitTriple runs Fit on a fresh session so no cached state leaks between the
+// reference, truncated, and resumed runs.
+func fitTriple(t *testing.T, p *Problem, cfg Config, opts FitOptions) FitResult {
+	t.Helper()
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Fit(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A fit killed mid-run (modeled as MaxEvals truncation — the checkpoint file
+// an interrupted process leaves behind is exactly a truncated log) must
+// resume to the bitwise-identical result of an uninterrupted run.
+func TestFitCheckpointResume(t *testing.T) {
+	for _, profiled := range []bool{false, true} {
+		p := smallProblem(t, 80, 5)
+		cfg := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-8}
+		base := FitOptions{MaxEvals: 40, FixSmoothness: true, Profiled: profiled}
+
+		ref := fitTriple(t, p, cfg, base)
+		if ref.Evals <= 15 {
+			t.Fatalf("profiled=%v: reference converged in %d evals; truncation at 15 would not interrupt anything", profiled, ref.Evals)
+		}
+
+		ck := filepath.Join(t.TempDir(), "fit.ckpt")
+		trunc := base
+		trunc.Checkpoint = ck
+		trunc.CheckpointEvery = 3
+		trunc.MaxEvals = 15
+		fitTriple(t, p, cfg, trunc) // interrupted run; leaves the log behind
+
+		resumed := trunc
+		resumed.MaxEvals = base.MaxEvals
+		got := fitTriple(t, p, cfg, resumed)
+		if got != ref {
+			t.Fatalf("profiled=%v: resumed fit %+v differs from uninterrupted %+v", profiled, got, ref)
+		}
+
+		// A third run replays the entire finished log: same result again.
+		again := fitTriple(t, p, cfg, resumed)
+		if again != ref {
+			t.Fatalf("profiled=%v: full replay %+v differs from %+v", profiled, again, ref)
+		}
+	}
+}
+
+// A checkpoint recorded for different data or options must be refused, not
+// silently replayed.
+func TestFitCheckpointDigestMismatch(t *testing.T) {
+	cfg := Config{Mode: FullBlock}
+	ck := filepath.Join(t.TempDir(), "fit.ckpt")
+	opts := FitOptions{MaxEvals: 10, FixSmoothness: true, Checkpoint: ck}
+	fitTriple(t, smallProblem(t, 60, 7), cfg, opts)
+
+	other := smallProblem(t, 60, 8) // same shape, different data
+	s, err := NewSession(other, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fit(opts); err == nil || !strings.Contains(err.Error(), "different problem") {
+		t.Fatalf("digest mismatch not detected: %v", err)
+	}
+
+	// Changed result-affecting option on the same data: also refused.
+	s2, err := NewSession(smallProblem(t, 60, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.TolX = 1e-6
+	if _, err := s2.Fit(bad); err == nil || !strings.Contains(err.Error(), "different problem") {
+		t.Fatalf("option mismatch not detected: %v", err)
+	}
+}

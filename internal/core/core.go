@@ -110,6 +110,20 @@ type Config struct {
 	// forced compression misses, rank kills. Nil (the default) injects
 	// nothing and pays a single nil check per hook site.
 	Chaos *chaos.FaultPlan
+	// MemBudget, when > 0, bounds the resident tile bytes of the TLR
+	// backend: tiles beyond the budget are evicted to a disk spill file and
+	// reloaded on demand (out-of-core execution). Results are bitwise
+	// identical to the in-memory run. The budget is soft — the in-flight
+	// working set (tiles pinned by executing tasks and solves) is never
+	// evicted — so it must be at least tlr.MinMemBudget(TileSize, Workers).
+	// 0 (the default) keeps every tile resident. Requires Mode == TLR on
+	// the shared-memory path (Ranks ≤ 1).
+	MemBudget int64
+	// SpillDir is the directory the out-of-core spill file is created in
+	// ("" = the OS temp dir). The file is unlinked at creation, so it can
+	// never outlive the process, crash or no crash. Ignored unless
+	// MemBudget > 0.
+	SpillDir string
 }
 
 // DefaultConfig returns the library defaults spelled out: dense full-block
@@ -182,6 +196,28 @@ func (c Config) Validate() error {
 	if ranks > 1 && spec.NewDist == nil {
 		return fmt.Errorf("core: distributed execution (Ranks=%d) requires Mode=%s, got %v",
 			ranks, strings.Join(distModeNames(), "|"), c.Mode)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("core: negative MemBudget %d", c.MemBudget)
+	}
+	if c.MemBudget > 0 {
+		if c.Mode != TLR {
+			return fmt.Errorf("core: MemBudget requires Mode=TLR, got %v", c.Mode)
+		}
+		if ranks > 1 {
+			return fmt.Errorf("core: MemBudget bounds the shared-memory tile store; unsupported with Ranks=%d", ranks)
+		}
+		nb, w := c.TileSize, c.Workers
+		if nb == 0 {
+			nb = 128
+		}
+		if w == 0 {
+			w = 1
+		}
+		if floor := tlr.MinMemBudget(nb, w); c.MemBudget < floor {
+			return fmt.Errorf("core: MemBudget %d below the in-flight working set %d for TileSize=%d, Workers=%d (pinned tiles are never evicted)",
+				c.MemBudget, floor, nb, w)
+		}
 	}
 	if c.MaxRetries < 0 {
 		return fmt.Errorf("core: negative MaxRetries %d", c.MaxRetries)
@@ -397,6 +433,20 @@ type FitOptions struct {
 	// searches only (θ₂, θ₃) — typically far fewer likelihood evaluations
 	// for the same accuracy. Works uniformly across all backends.
 	Profiled bool
+	// Checkpoint, when non-empty, makes the fit restartable: the bit-exact
+	// (x, ℓ) evaluation log is written atomically to this path every
+	// CheckpointEvery evaluations, stamped with a digest of the dataset and
+	// the result-affecting options. A Fit started against an existing,
+	// matching checkpoint replays the recorded evaluations instead of
+	// recomputing them — the optimizer is deterministic, so a run killed
+	// mid-fit resumes to bitwise-identical results. A digest mismatch
+	// (different data, config, or options) is an error, never a silent
+	// restart. MaxEvals is excluded from the digest so a resumed run may
+	// extend a truncated one.
+	Checkpoint string
+	// CheckpointEvery is the checkpoint flush cadence in likelihood
+	// evaluations (default 10). Ignored when Checkpoint is empty.
+	CheckpointEvery int
 }
 
 // FitResult is the outcome of a maximum likelihood fit.
@@ -414,6 +464,9 @@ func (o FitOptions) withDefaults(p *Problem) FitOptions {
 	}
 	if o.TolX <= 0 {
 		o.TolX = 1e-4
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
 	}
 	if o.Start.Variance <= 0 {
 		var s, s2 float64

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFitKillAndResume is the real-kill smoke: a child process runs a
+// checkpointed fit and is SIGKILLed as soon as a few evaluations have been
+// flushed — no deferred cleanup, no graceful shutdown, exactly the failure
+// the checkpoint exists for. The parent then resumes from whatever file the
+// corpse left behind and must land bitwise on an uninterrupted run's theta,
+// likelihood, and predictions. Atomic checkpoint writes are what makes the
+// leftover file loadable no matter where the kill landed.
+func TestFitKillAndResume(t *testing.T) {
+	const (
+		n    = 500
+		seed = 11
+	)
+	cfg := Config{Mode: FullBlock}
+	opts := FitOptions{MaxEvals: 50, FixSmoothness: true, CheckpointEvery: 1}
+
+	if ck := os.Getenv("FIT_KILL_CHILD_CKPT"); ck != "" {
+		// Child mode: run the checkpointed fit until killed.
+		o := opts
+		o.Checkpoint = ck
+		s, err := NewSession(smallProblem(t, n, seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Fit(o); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess kill smoke skipped in -short")
+	}
+
+	ck := filepath.Join(t.TempDir(), "fit.ckpt")
+	child := exec.Command(os.Args[0], "-test.run", "^TestFitKillAndResume$")
+	child.Env = append(os.Environ(), "FIT_KILL_CHILD_CKPT="+ck)
+	child.Stdout, child.Stderr = io.Discard, io.Discard
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill as soon as at least three evaluations reached disk.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if raw, err := os.ReadFile(ck); err == nil {
+			var f fitCheckpoint
+			if json.Unmarshal(raw, &f) == nil && len(f.Evals) >= 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			child.Process.Kill()
+			t.Fatal("child never flushed a checkpoint")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	child.Process.Kill()
+	child.Wait() // exit status of a killed child is expected noise
+
+	p := smallProblem(t, n, seed)
+	ref := fitTriple(t, p, cfg, opts)
+
+	resumed := opts
+	resumed.Checkpoint = ck
+	rs, err := NewSession(smallProblem(t, n, seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Fit(resumed)
+	if err != nil {
+		t.Fatalf("resume from killed run: %v", err)
+	}
+	if got != ref {
+		t.Fatalf("resumed fit %+v differs from uninterrupted %+v", got, ref)
+	}
+	newPts := p.Points[:9]
+	refPred, err := NewSessionMust(t, p, cfg).Predict(newPts, ref.Theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPred, err := rs.Predict(newPts, got.Theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refPred {
+		if refPred[i] != gotPred[i] {
+			t.Fatalf("prediction %d differs after resume: %v != %v", i, refPred[i], gotPred[i])
+		}
+	}
+}
+
+// NewSessionMust is a test helper wrapping NewSession with t.Fatal.
+func NewSessionMust(t *testing.T, p *Problem, cfg Config) *Session {
+	t.Helper()
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/chaos"
@@ -93,6 +94,28 @@ func (e *localBackend) Diagnostics() Diagnostics { return e.diag }
 func (e *localBackend) Generation() uint64       { return e.gen }
 func (e *localBackend) EnableTracing()           { e.trace = true }
 func (e *localBackend) Trace() *runtime.Trace    { return e.lastTrace }
+
+// Close releases whatever the mode state holds outside the Go heap (the TLR
+// out-of-core spill file); modes without external resources make it a no-op.
+func (e *localBackend) Close() error {
+	if c, ok := e.fac.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// storeStater is the optional capability of mode states that run against an
+// out-of-core tile store (currently only tlrState with MemBudget > 0).
+type storeStater interface {
+	storeStats() (highWater, spilled int64, ok bool)
+}
+
+func (e *localBackend) storeStats() (int64, int64, bool) {
+	if ss, ok := e.fac.(storeStater); ok {
+		return ss.storeStats()
+	}
+	return 0, 0, false
+}
 
 // run executes a cached task graph, recording a trace when enabled. The
 // options carry the session's retry policy and (when chaos is armed) the

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tlr"
+)
+
+// A MemBudget session must produce bitwise-identical likelihoods and
+// predictions to the unbounded TLR session, spill bytes while doing it, and
+// release the spill file on Close.
+func TestSessionMemBudgetBitwise(t *testing.T) {
+	p := smallProblem(t, 400, 3)
+	th := theta()
+	base := Config{Mode: TLR, TileSize: 50, Accuracy: 1e-7, Workers: 2}
+
+	ref, err := NewSession(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLik, err := ref.LogLikelihood(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPts := p.Points[:7]
+	refPred, err := ref.Predict(newPts, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ooc := base
+	ooc.MemBudget = refLik.Bytes / 3
+	ooc.SpillDir = t.TempDir()
+	if ooc.MemBudget < tlr.MinMemBudget(base.TileSize, base.Workers) {
+		ooc.MemBudget = tlr.MinMemBudget(base.TileSize, base.Workers)
+	}
+	s, err := NewSession(p, ooc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	lik, err := s.LogLikelihood(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lik != refLik {
+		t.Fatalf("bounded likelihood %+v differs from unbounded %+v", lik, refLik)
+	}
+	pred, err := s.Predict(newPts, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if pred[i] != refPred[i] {
+			t.Fatalf("prediction %d differs: %v != %v", i, pred[i], refPred[i])
+		}
+	}
+	hw, spilled, ok := s.StoreStats()
+	if !ok {
+		t.Fatal("StoreStats must report on a MemBudget session")
+	}
+	if spilled == 0 {
+		t.Fatal("nothing spilled: budget had no effect")
+	}
+	if hw > ooc.MemBudget+tlr.MinMemBudget(base.TileSize, base.Workers) {
+		t.Fatalf("high water %d exceeds budget %d plus working set", hw, ooc.MemBudget)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory sessions report no store and Close is a no-op.
+	if _, _, ok := ref.StoreStats(); ok {
+		t.Fatal("unbounded session must not report store stats")
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemBudgetValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative", Config{Mode: TLR, MemBudget: -1}, "negative MemBudget"},
+		{"dense mode", Config{Mode: FullBlock, MemBudget: 1 << 30}, "requires Mode=TLR"},
+		{"distributed", Config{Mode: TLR, Ranks: 4, MemBudget: 1 << 30}, "unsupported with Ranks"},
+		{"too small", Config{Mode: TLR, TileSize: 128, Workers: 2, MemBudget: 1024}, "below the in-flight working set"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Config{Mode: TLR, TileSize: 64, MemBudget: tlr.MinMemBudget(64, 1)}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("minimal valid budget rejected: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync/atomic"
 
@@ -118,6 +119,29 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 	return s, nil
 }
 
+// Close releases resources the session's backend holds outside the Go heap
+// — today that is the TLR out-of-core spill file (Config.MemBudget > 0).
+// Safe to call on every mode (a no-op without external resources) and
+// idempotent; the session must not be used afterwards.
+func (s *Session) Close() error {
+	if c, ok := s.be.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// StoreStats reports the out-of-core tile store's peak resident bytes and
+// current spill-file size. ok is false when the session runs in memory
+// (MemBudget == 0) or no factorization has happened yet.
+func (s *Session) StoreStats() (highWater, spilled int64, ok bool) {
+	if ss, hasStore := s.be.(interface {
+		storeStats() (int64, int64, bool)
+	}); hasStore {
+		return ss.storeStats()
+	}
+	return 0, 0, false
+}
+
 // Backend returns the evaluator backend the session routes through — the
 // registry-built object for the configured Mode. Useful for capability
 // checks (FactorBackend, CommBackend); the returned backend shares the
@@ -226,12 +250,22 @@ func (s *Session) Fit(opts FitOptions) (FitResult, error) {
 		}
 		return -lik.Value
 	}
+	ck, err := openCheckpoint(o, s.fitDigest(o))
+	if err != nil {
+		return FitResult{}, err
+	}
+	if ck != nil {
+		obj = ck.wrap(obj)
+	}
 	res, err := optimize.NelderMead(
 		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
 		start,
 		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
 	)
 	if err != nil {
+		return FitResult{}, err
+	}
+	if err := ck.flush(); err != nil {
 		return FitResult{}, err
 	}
 	if math.IsInf(res.F, 1) {
@@ -281,12 +315,22 @@ func (s *Session) profiledFit(o FitOptions) (FitResult, error) {
 		}
 		return -ll
 	}
+	ck, err := openCheckpoint(o, s.fitDigest(o))
+	if err != nil {
+		return FitResult{}, err
+	}
+	if ck != nil {
+		obj = ck.wrap(obj)
+	}
 	res, err := optimize.NelderMead(
 		optimize.Problem{Objective: obj, Lower: lower, Upper: upper},
 		start,
 		optimize.Options{MaxEvals: o.MaxEvals, TolX: o.TolX},
 	)
 	if err != nil {
+		return FitResult{}, err
+	}
+	if err := ck.flush(); err != nil {
 		return FitResult{}, err
 	}
 	if math.IsInf(res.F, 1) {

@@ -1,0 +1,45 @@
+package dataio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file so that a crash at any point leaves either
+// the previous contents or the complete new contents at path — never a
+// truncated mix. The payload is produced by write into a temporary file in
+// the same directory (rename is only atomic within a filesystem), synced to
+// stable storage, closed, and renamed over path.
+//
+// Every durable artifact in the repo goes through this helper: datasets
+// (WriteCSVFile), model documents (SaveModelFile), and the optimizer
+// checkpoints written by core.Fit.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dataio: atomic write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	// On any failure remove the temp file; Close and Remove are harmless
+	// no-ops after the success path has already closed and renamed it.
+	defer func() {
+		f.Close()
+		os.Remove(tmp)
+	}()
+	if err := write(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("dataio: atomic write %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataio: atomic write %s: close: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dataio: atomic write %s: %w", path, err)
+	}
+	return nil
+}

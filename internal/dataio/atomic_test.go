@@ -1,0 +1,174 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regression for the header-detection bug: a header whose column names
+// contain digits ("x_1,y_1,z_1") defeated the old no-digits heuristic and
+// was fed to ParseFloat. Detection is now parse-based.
+func TestCSVHeaderWithDigits(t *testing.T) {
+	in := "x_1,y_1,z_1\n0.5,0.5,1.25\n0.1,0.9,-0.5\n"
+	rec, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("digit-bearing header must be skipped: %v", err)
+	}
+	if len(rec.Points) != 2 || rec.Z[0] != 1.25 || rec.Z[1] != -0.5 {
+		t.Fatalf("wrong rows after header skip: %+v", rec)
+	}
+}
+
+func TestCSVHeaderVariants(t *testing.T) {
+	cases := []string{
+		"lon,lat,value\n1,2,3\n",             // no "x" at all
+		"\n\nX_coord,Y_coord,obs 1\n1,2,3\n", // blank lines before header
+		"x,y,z\n1,2,3\n",                     // classic header still skipped
+	}
+	for i, in := range cases {
+		rec, err := ReadCSV(strings.NewReader(in))
+		if err != nil || len(rec.Points) != 1 || rec.Z[0] != 3 {
+			t.Errorf("case %d: got %+v, %v", i, rec, err)
+		}
+	}
+	// A parsable first line is data, even if a header would also be legal.
+	rec, err := ReadCSV(strings.NewReader("1,2,3\n4,5,6\n"))
+	if err != nil || len(rec.Points) != 2 {
+		t.Fatalf("parsable first line must not be dropped: %+v, %v", rec, err)
+	}
+}
+
+func TestCSVBadRowAfterFirst(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("x,y,z\n1,2,3\n4,oops,6\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("bad later row must fail with its line number, got %v", err)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("wrong contents: %q", b)
+	}
+	// A failed write must leave the previous contents intact and no temp
+	// file behind.
+	boom := errors.New("boom")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("writer error must propagate, got %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("failed write clobbered target: %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %v", ents)
+	}
+}
+
+func TestBlobFilePutGetReuse(t *testing.T) {
+	b, err := NewBlobFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	r1, err := b.Put([]byte("hello world"), Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(r1)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("get: %q, %v", got, err)
+	}
+
+	// Smaller rewrite reuses the region in place: file must not grow.
+	size := b.Size()
+	r2, err := b.Put([]byte("tiny"), r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Off != r1.Off || b.Size() != size {
+		t.Fatalf("in-place rewrite moved or grew: %+v -> %+v, size %d -> %d", r1, r2, size, b.Size())
+	}
+	if got, _ := b.Get(r2); string(got) != "tiny" {
+		t.Fatalf("rewrite contents: %q", got)
+	}
+
+	// Outgrowing the region frees it for later Puts of fitting size.
+	big := bytes.Repeat([]byte("B"), 64)
+	r3, err := b.Put(big, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Get(r3); !bytes.Equal(got, big) {
+		t.Fatal("grown blob corrupted")
+	}
+	r4, err := b.Put([]byte("recycled"), Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Off != r1.Off {
+		t.Fatalf("freed region not recycled: got off %d want %d", r4.Off, r1.Off)
+	}
+	if got, _ := b.Get(r3); !bytes.Equal(got, big) {
+		t.Fatal("recycling clobbered a live blob")
+	}
+
+	if _, err := b.Get(Region{}); err == nil {
+		t.Fatal("empty region read must error")
+	}
+}
+
+func TestBlobFileConcurrent(t *testing.T) {
+	b, err := NewBlobFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var r Region
+			for i := 0; i < 50; i++ {
+				payload := bytes.Repeat([]byte{byte(g)}, 16+(g*7+i*13)%64)
+				var err error
+				if r, err = b.Put(payload, r); err != nil {
+					done <- err
+					return
+				}
+				got, err := b.Get(r)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					done <- fmt.Errorf("goroutine %d iter %d: payload corrupted", g, i)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -42,33 +42,32 @@ func WriteCSV(w io.Writer, r Records) error {
 }
 
 // ReadCSV parses a dataset written by WriteCSV (or any x,y,z CSV with an
-// optional header). Blank lines are skipped; malformed rows are reported
-// with their line number.
+// optional header). The header is detected by parsing, not by content
+// sniffing: if the first non-blank line does not parse as three floats it
+// is the header, so column names that contain digits ("x_1,y_1,z_1") are
+// skipped correctly. Blank lines are skipped; malformed rows after the
+// first are reported with their line number.
 func ReadCSV(r io.Reader) (Records, error) {
 	var out Records
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
+	first := true
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		if lineNo == 1 && strings.Contains(strings.ToLower(line), "x") && !strings.ContainsAny(line, "0123456789") {
-			continue // header
-		}
-		parts := strings.Split(line, ",")
-		if len(parts) != 3 {
-			return Records{}, fmt.Errorf("dataio: line %d: want 3 fields, got %d", lineNo, len(parts))
-		}
-		var vals [3]float64
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		vals, err := parseXYZ(line)
+		if first {
+			first = false
 			if err != nil {
-				return Records{}, fmt.Errorf("dataio: line %d field %d: %w", lineNo, i+1, err)
+				continue // unparsable first line: the header
 			}
-			vals[i] = v
+		}
+		if err != nil {
+			return Records{}, fmt.Errorf("dataio: line %d: %w", lineNo, err)
 		}
 		out.Points = append(out.Points, geom.Point{X: vals[0], Y: vals[1]})
 		out.Z = append(out.Z, vals[2])
@@ -82,17 +81,30 @@ func ReadCSV(r io.Reader) (Records, error) {
 	return out, nil
 }
 
-// WriteCSVFile and ReadCSVFile are the path-based conveniences.
+// parseXYZ parses one "x,y,z" data row.
+func parseXYZ(line string) ([3]float64, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 3 {
+		return [3]float64{}, fmt.Errorf("want 3 fields, got %d", len(parts))
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return [3]float64{}, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// WriteCSVFile and ReadCSVFile are the path-based conveniences. The write
+// is atomic (temp file + fsync + rename) so a crash mid-write cannot leave
+// a truncated dataset on disk.
 func WriteCSVFile(path string, r Records) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := WriteCSV(f, r); err != nil {
-		return err
-	}
-	return f.Close()
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteCSV(w, r)
+	})
 }
 
 // ReadCSVFile reads a dataset from path.
@@ -174,17 +186,13 @@ func LoadModel(r io.Reader) (Model, error) {
 	return m, nil
 }
 
-// SaveModelFile and LoadModelFile are the path-based conveniences.
+// SaveModelFile and LoadModelFile are the path-based conveniences. The
+// write is atomic (temp file + fsync + rename) so a crash mid-write cannot
+// leave a truncated model document on disk.
 func SaveModelFile(path string, m Model) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := SaveModel(f, m); err != nil {
-		return err
-	}
-	return f.Close()
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		return SaveModel(w, m)
+	})
 }
 
 // LoadModelFile loads a model from path.

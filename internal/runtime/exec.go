@@ -115,6 +115,12 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 	// Retry.Attempts extra times. With Attempts == 0 no snapshot is ever
 	// taken, so the chaos-off hot path pays nothing beyond the branch.
 	runTask := func(w int, t *Task) error {
+		// Residency pins wrap the whole retry loop: snapshot, body and
+		// replay all see materialized payloads, and the out-of-core store
+		// cannot evict a tile mid-execution.
+		if unpin := pinTask(t); unpin != nil {
+			defer unpin()
+		}
 		for attempt := 0; ; attempt++ {
 			canRetry := attempt < opt.Retry.Attempts
 			var restore, release func()
@@ -228,6 +234,48 @@ func (g *Graph) execute(opt ExecOptions, rec *recorder) error {
 		return fmt.Errorf("runtime: executed %d of %d tasks; dependency cycle or inference bug", done, n)
 	}
 	return nil
+}
+
+// pinTask pins every distinct handle the task accesses (via Handle.PinFn)
+// and returns the matching unpin closure, or nil when no accessed handle
+// carries residency hooks. A handle is pinned in overwrite mode only when
+// every access the task declares on it is Write — then the store need not
+// load spilled bytes that are about to be clobbered.
+func pinTask(t *Task) (unpin func()) {
+	var pinned []*Handle
+	for _, a := range t.Accesses {
+		h := a.Handle
+		if h.PinFn == nil || handleSeen(pinned, h) {
+			continue
+		}
+		overwrite := true
+		for _, b := range t.Accesses {
+			if b.Handle == h && b.Mode != Write {
+				overwrite = false
+				break
+			}
+		}
+		h.PinFn(overwrite)
+		pinned = append(pinned, h)
+	}
+	if len(pinned) == 0 {
+		return nil
+	}
+	return func() {
+		for _, h := range pinned {
+			h.UnpinFn()
+		}
+	}
+}
+
+// handleSeen reports whether h is already in the (tiny) pinned list.
+func handleSeen(list []*Handle, h *Handle) bool {
+	for _, x := range list {
+		if x == h {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshotTask captures the pre-execution state a replay must put back:

@@ -49,6 +49,19 @@ type Handle struct {
 	// of the generation tasks). The executor saves and restores
 	// Handle.Bytes itself, so SetBytes-updating tasks replay cleanly.
 	SnapshotFn func() (restore, release func())
+
+	// PinFn/UnpinFn, when non-nil (set them together), bracket every task
+	// execution touching the handle: the executor calls PinFn once before a
+	// task's first attempt — before snapshots are taken, so an out-of-core
+	// store can bring an evicted payload back into residency in time for
+	// SnapshotFn and the task body — and UnpinFn once after the final
+	// attempt. overwrite is true when the task's only accesses to the
+	// handle are Write: the payload is about to be fully rewritten, so the
+	// store may materialize an empty buffer instead of reading spilled
+	// bytes back from disk. Pins nest (a handle may be pinned by several
+	// concurrent readers); the store unpins by reference count.
+	PinFn   func(overwrite bool)
+	UnpinFn func()
 }
 
 // SetBytes updates the payload size of a variable-size handle (a compressed

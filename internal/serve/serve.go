@@ -52,15 +52,17 @@ func (c Config) withDefaults() Config {
 }
 
 var (
-	errQueueFull   = errors.New("serve: prediction queue full")
-	errModelClosed = errors.New("serve: model deleted")
+	errQueueFull    = errors.New("serve: prediction queue full")
+	errModelClosed  = errors.New("serve: model deleted")
+	errShuttingDown = errors.New("serve: server shutting down")
 )
 
 // nameRE bounds model names to filesystem- and URL-safe tokens.
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
 
-// cntPredictShed counts queued predictions dropped because the requesting
-// client disconnected before the worker reached them.
+// cntPredictShed counts queued predictions dropped unrun — because the
+// requesting client disconnected before the worker reached them, or because
+// the server began shutting down while they sat in the queue.
 var cntPredictShed = obs.GetCounter("serve.predict.shed")
 
 // predictJob is one prediction request handed to a model's worker.
@@ -92,12 +94,22 @@ type model struct {
 	qclosed bool
 	done    chan struct{} // closed when the worker has drained and exited
 
+	// shedding flips on at server shutdown: the worker answers every
+	// remaining queued job with errShuttingDown instead of executing it, so
+	// Close returns in O(queue) replies rather than O(queue) solves.
+	shedding atomic.Bool
+
 	predicts atomic.Int64
 }
 
 func (m *model) run() {
 	defer close(m.done)
 	for job := range m.queue {
+		if m.shedding.Load() {
+			cntPredictShed.Inc()
+			job.reply <- predictResult{err: errShuttingDown}
+			continue
+		}
 		job.reply <- m.do(job)
 	}
 }
@@ -129,11 +141,15 @@ func (m *model) do(job *predictJob) predictResult {
 }
 
 // enqueue hands a job to the worker without blocking: a full queue is load
-// shed (errQueueFull → 503), a closed model reports errModelClosed (404).
+// shed (errQueueFull → 503), a model closed by deletion reports
+// errModelClosed (404), one closed by server shutdown errShuttingDown (503).
 func (m *model) enqueue(job *predictJob) error {
 	m.qmu.Lock()
 	defer m.qmu.Unlock()
 	if m.qclosed {
+		if m.shedding.Load() {
+			return errShuttingDown
+		}
 		return errModelClosed
 	}
 	select {
@@ -144,12 +160,19 @@ func (m *model) enqueue(job *predictJob) error {
 	}
 }
 
-// close shuts the queue and waits for the worker to drain pending jobs (each
-// still gets its reply) and exit.
-func (m *model) close() {
+// close shuts the queue and waits for the worker to exit. With shed=false
+// (model deletion) pending jobs drain with real replies; with shed=true
+// (server shutdown) every still-queued job is answered errShuttingDown
+// unrun — only the job already executing finishes. The shedding flag flips
+// under qmu, before the queue closes, so a job either lands in the queue and
+// gets a shed reply or is rejected at enqueue; none are dropped replyless.
+func (m *model) close(shed bool) {
 	m.qmu.Lock()
 	if !m.qclosed {
 		m.qclosed = true
+		if shed {
+			m.shedding.Store(true)
+		}
 		close(m.queue)
 	}
 	m.qmu.Unlock()
@@ -209,8 +232,10 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close deletes every model and stops their workers. Subsequent creates are
-// rejected; in-flight predicts drain with replies.
+// Close deletes every model and stops their workers. Subsequent creates and
+// predicts are rejected with 503; queued predicts are shed with 503 instead
+// of executed — shutdown waits only for the solves already running, never
+// for the backlog.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -221,7 +246,7 @@ func (s *Server) Close() {
 	s.models = map[string]*model{}
 	s.mu.Unlock()
 	for _, m := range models {
-		m.close()
+		m.close(true)
 	}
 }
 
@@ -467,7 +492,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) int {
 	}
 	// Stop the worker outside the registry lock; pending jobs drain with
 	// replies before close returns.
-	m.close()
+	m.close(false)
 	w.WriteHeader(http.StatusNoContent)
 	return http.StatusNoContent
 }
@@ -499,6 +524,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		if errors.Is(err, errModelClosed) {
 			return writeError(w, http.StatusNotFound, "model %q deleted", name)
 		}
+		if errors.Is(err, errShuttingDown) {
+			return writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		}
 		return writeError(w, http.StatusServiceUnavailable, "model %q overloaded: %v", name, err)
 	}
 	var res predictResult
@@ -514,6 +542,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	}
 	if res.err != nil && errors.Is(res.err, context.Canceled) {
 		return writeError(w, http.StatusServiceUnavailable, "request cancelled before execution")
+	}
+	if res.err != nil && errors.Is(res.err, errShuttingDown) {
+		return writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	}
 	if res.err != nil {
 		// Server-side solve failure. ErrSessionBusy here would mean the

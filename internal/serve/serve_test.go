@@ -331,7 +331,7 @@ func TestQueueShedsWhenFull(t *testing.T) {
 		for range m.queue {
 		}
 	}()
-	m.close()
+	m.close(false)
 	if err := m.enqueue(&predictJob{}); err != errModelClosed {
 		t.Fatalf("enqueue after close: %v, want errModelClosed", err)
 	}

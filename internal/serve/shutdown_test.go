@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Queued predict jobs at shutdown are shed with errShuttingDown, not
+// executed: the worker answers each with a reply (no hang, no drop), and the
+// enqueue path rejects late arrivals with the same error. The worker is
+// started only after the queue is filled and the shed flag set, so the test
+// is deterministic — no job can sneak through before shedding begins.
+func TestShutdownShedsQueuedJobs(t *testing.T) {
+	m := &model{
+		queue: make(chan *predictJob, 8),
+		done:  make(chan struct{}),
+	}
+	jobs := make([]*predictJob, 5)
+	for i := range jobs {
+		jobs[i] = &predictJob{
+			points: []geom.Point{{X: 0.5, Y: 0.5}},
+			reply:  make(chan predictResult, 1),
+		}
+		if err := m.enqueue(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go m.run()
+	m.close(true) // blocks until the worker drains and exits
+
+	for i, job := range jobs {
+		res := <-job.reply
+		if !errors.Is(res.err, errShuttingDown) {
+			t.Fatalf("job %d: got %v, want errShuttingDown", i, res.err)
+		}
+	}
+	if err := m.enqueue(&predictJob{reply: make(chan predictResult, 1)}); !errors.Is(err, errShuttingDown) {
+		t.Fatalf("enqueue after shutdown: got %v, want errShuttingDown", err)
+	}
+}
+
+// A model deleted by the API (not shutdown) still drains its queue with real
+// replies, and enqueue-after-delete stays a 404-mapped errModelClosed.
+func TestDeleteStillDrainsQueue(t *testing.T) {
+	m := &model{
+		queue: make(chan *predictJob, 2),
+		done:  make(chan struct{}),
+	}
+	close(m.queue)
+	m.qclosed = true
+	go func() { close(m.done) }()
+	<-m.done
+	if err := m.enqueue(&predictJob{}); !errors.Is(err, errModelClosed) {
+		t.Fatalf("enqueue after delete: got %v, want errModelClosed", err)
+	}
+}
+
+// Full-stack shutdown under concurrency: predicts race Server.Close, and
+// every request gets exactly one of 200 (ran before shutdown), 503 (shed or
+// rejected), or 404 (model already removed). Ingests during shutdown are
+// rejected with 503. Run with -race; the interesting property is the absence
+// of hangs, panics, and replyless jobs.
+func TestShutdownUnderConcurrentLoad(t *testing.T) {
+	s := New(Config{MaxPoints: 200, MaxQueue: 4})
+	createTestModel(t, s, "m", 36, 1)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	codes := make([]int, 16)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			req := PredictRequest{Points: []Point{{X: 0.5, Y: 0.5}}}
+			codes[i] = do(t, s, "POST", "/models/m/predict", req, nil)
+		}(i)
+	}
+	close(start)
+	s.Close()
+	wg.Wait()
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK, http.StatusServiceUnavailable, http.StatusNotFound:
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, code)
+		}
+	}
+
+	// New ingests after shutdown: 503.
+	pts, z := testDataset(t, 36, 2)
+	req := CreateModelRequest{Name: "late", Points: pts, Z: z, Theta: &testTheta}
+	if code := do(t, s, "POST", "/models", req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("create during shutdown: status %d, want 503", code)
+	}
+}

@@ -31,6 +31,17 @@ var cntRecompress = obs.GetCounter("tlr.recompress.calls")
 type CompTile struct {
 	U, V *la.Mat
 	D    *la.Mat
+
+	// Spill stub: when the out-of-core store evicts this tile (ooc.go) the
+	// factors above are nil and these fields keep the logical shape, so
+	// Rank/Rows/Cols/Bytes — the rank-statistics and footprint accounting —
+	// answer without a disk load. Kernels touching actual entries require
+	// the tile to be pinned resident.
+	stub    bool
+	stRows  int
+	stCols  int
+	stRank  int
+	stDense bool
 }
 
 // NewDenseTile wraps a dense matrix as an exact (DE) tile. The tile takes
@@ -39,10 +50,18 @@ func NewDenseTile(d *la.Mat) *CompTile { return &CompTile{D: d} }
 
 // IsDense reports whether the tile stores its entries exactly (DE fallback)
 // rather than as low-rank factors.
-func (c *CompTile) IsDense() bool { return c.D != nil }
+func (c *CompTile) IsDense() bool {
+	if c.stub {
+		return c.stDense
+	}
+	return c.D != nil
+}
 
 // Rank returns the stored rank (the full min dimension for a dense tile).
 func (c *CompTile) Rank() int {
+	if c.stub {
+		return c.stRank
+	}
 	if c.IsDense() {
 		return min(c.D.Rows, c.D.Cols)
 	}
@@ -51,6 +70,9 @@ func (c *CompTile) Rank() int {
 
 // Rows and Cols return the tile's logical dimensions.
 func (c *CompTile) Rows() int {
+	if c.stub {
+		return c.stRows
+	}
 	if c.IsDense() {
 		return c.D.Rows
 	}
@@ -59,18 +81,22 @@ func (c *CompTile) Rows() int {
 
 // Cols returns the number of columns of the represented tile.
 func (c *CompTile) Cols() int {
+	if c.stub {
+		return c.stCols
+	}
 	if c.IsDense() {
 		return c.D.Cols
 	}
 	return c.V.Rows
 }
 
-// Bytes returns the storage footprint of the representation.
+// Bytes returns the storage footprint of the representation (the logical
+// footprint for a spilled stub — the bytes the tile occupies when resident).
 func (c *CompTile) Bytes() int64 {
 	if c.IsDense() {
-		return int64(c.D.Rows) * int64(c.D.Cols) * 8
+		return int64(c.Rows()) * int64(c.Cols()) * 8
 	}
-	return int64(c.U.Rows+c.V.Rows) * int64(c.Rank()) * 8
+	return int64(c.Rows()+c.Cols()) * int64(c.Rank()) * 8
 }
 
 // Dense reconstructs the tile as a dense matrix (a copy in every case).

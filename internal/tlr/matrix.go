@@ -44,6 +44,12 @@ type Matrix struct {
 
 	diag []*la.Mat
 	off  [][]*CompTile // off[i][j] valid for j < i
+
+	// ooc, when non-nil, is the out-of-core binding installed by AttachOOC:
+	// tile payloads may be spilled to disk, and every direct tile access of
+	// the solve/logdet/reconstruction paths pins the tile resident around
+	// the access. Nil means all tiles are memory-resident (the default).
+	ooc *oocBinding
 }
 
 // NewMatrix allocates an empty TLR matrix shell.
@@ -121,14 +127,18 @@ func FromDense(a *la.Mat, nb int, tol float64, comp Compressor) *Matrix {
 func (m *Matrix) ToDense() *la.Mat {
 	out := la.NewMat(m.N, m.N)
 	for i := 0; i < m.MT; i++ {
+		m.pinDiag(i)
 		d := m.diag[i]
 		for a := 0; a < d.Rows; a++ {
 			for b := 0; b < d.Cols; b++ {
 				out.Set(i*m.NB+a, i*m.NB+b, d.At(a, b))
 			}
 		}
+		m.unpinDiag(i)
 		for j := 0; j < i; j++ {
+			m.pinOff(i, j)
 			t := m.off[i][j].Dense()
+			m.unpinOff(i, j)
 			for a := 0; a < t.Rows; a++ {
 				for b := 0; b < t.Cols; b++ {
 					out.Set(i*m.NB+a, j*m.NB+b, t.At(a, b))
@@ -140,10 +150,17 @@ func (m *Matrix) ToDense() *la.Mat {
 	return out
 }
 
-// Bytes returns the TLR storage footprint.
+// Bytes returns the TLR storage footprint: the bytes the matrix occupies
+// fully resident (spilled tiles count at their logical size).
 func (m *Matrix) Bytes() int64 {
 	var b int64
-	for _, d := range m.diag {
+	for i, d := range m.diag {
+		if d == nil {
+			// evicted (or not yet generated) diagonal tile: logical size
+			di := int64(m.TileDim(i))
+			b += di * di * 8
+			continue
+		}
 		b += int64(d.Rows) * int64(d.Cols) * 8
 	}
 	for i := range m.off {
@@ -374,8 +391,10 @@ func Cholesky(m *Matrix, workers int) error {
 // LogDet returns log|A| from a TLR-factored matrix.
 func (m *Matrix) LogDet() float64 {
 	var s float64
-	for _, d := range m.diag {
-		s += la.LogDetFromChol(d)
+	for i := range m.diag {
+		m.pinDiag(i)
+		s += la.LogDetFromChol(m.diag[i])
+		m.unpinDiag(i)
 	}
 	return s
 }
@@ -389,9 +408,13 @@ func (m *Matrix) ForwardSolve(b []float64) {
 		bi := b[i*m.NB : i*m.NB+m.TileDim(i)]
 		for j := 0; j < i; j++ {
 			bj := b[j*m.NB : j*m.NB+m.TileDim(j)]
+			m.pinOff(i, j)
 			MatVec(m.off[i][j], -1, bj, bi)
+			m.unpinOff(i, j)
 		}
+		m.pinDiag(i)
 		la.ForwardSolveVec(m.diag[i], bi)
+		m.unpinDiag(i)
 	}
 }
 
@@ -405,10 +428,14 @@ func (m *Matrix) BackwardSolve(b []float64) {
 		for j := m.MT - 1; j > i; j-- {
 			bj := b[j*m.NB : j*m.NB+m.TileDim(j)]
 			// b_i -= (L_ji)ᵀ b_j
+			m.pinOff(j, i)
 			MatVecT(m.off[j][i], -1, bj, bi)
+			m.unpinOff(j, i)
 		}
 		bm := la.NewMatFrom(len(bi), 1, bi)
+		m.pinDiag(i)
 		la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.diag[i], bm)
+		m.unpinDiag(i)
 	}
 }
 

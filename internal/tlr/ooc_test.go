@@ -1,0 +1,162 @@
+package tlr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/geom"
+	"repro/internal/runtime"
+	"repro/internal/tlr/store"
+)
+
+// oocFactor builds and factors Σ(θ) under the given memory budget,
+// returning the matrix and its store. Budget 0 means unbounded (but still
+// routed through the store, exercising the hooks).
+func oocFactor(t *testing.T, n, nb int, budget int64, workers int, inject func(int, int, int), retry runtime.RetryPolicy) (*Matrix, *store.Store) {
+	t.Helper()
+	k, pts := genTestSetup(t, n)
+	m := NewMatrix(n, nb, 1e-7)
+	spec := &GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: SVDCompressor{}}
+	gg := NewGenCholeskyGraph(m, spec, true)
+	st, err := store.NewTemp(t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	AttachOOC(gg, m, st)
+	if err := gg.G.Execute(runtime.ExecOptions{Workers: workers, Inject: inject, Retry: retry}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+// refFactor is the plain in-memory reference factorization.
+func refFactor(t *testing.T, n, nb int) *Matrix {
+	t.Helper()
+	k, pts := genTestSetup(t, n)
+	m := NewMatrix(n, nb, 1e-7)
+	spec := &GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: SVDCompressor{}}
+	if err := GenCholesky(m, spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// assertFactorsMatch compares logdet and a full solve bitwise. Comparing
+// through the solve (rather than tile by tile) also exercises the pinned
+// solve paths against spilled tiles.
+func assertFactorsMatch(t *testing.T, label string, got, want *Matrix) {
+	t.Helper()
+	if ld, ldRef := got.LogDet(), want.LogDet(); ld != ldRef {
+		t.Fatalf("%s: logdet %v != reference %v", label, ld, ldRef)
+	}
+	rhs := make([]float64, want.N)
+	for i := range rhs {
+		rhs[i] = float64(i%17) - 8
+	}
+	x := append([]float64(nil), rhs...)
+	xRef := append([]float64(nil), rhs...)
+	got.Solve(x)
+	want.Solve(xRef)
+	for i := range x {
+		if x[i] != xRef[i] {
+			t.Fatalf("%s: solve differs at %d: %v != %v", label, i, x[i], xRef[i])
+		}
+	}
+}
+
+// A budget a fraction of the matrix forces evictions mid-factorization;
+// the result must match the in-memory factorization bitwise, and the
+// resident high-water must stay near the budget (soft overshoot is bounded
+// by the in-flight working set).
+func TestOOCCholeskyBitwiseUnderBudget(t *testing.T) {
+	const n, nb = 400, 50
+	ref := refFactor(t, n, nb)
+	full := ref.Bytes()
+	budget := full / 4
+	m, st := oocFactor(t, n, nb, budget, 1, nil, runtime.RetryPolicy{})
+	if st.HighWater() > budget+MinMemBudget(nb, 1) {
+		t.Fatalf("high water %d exceeds budget %d plus working set %d",
+			st.HighWater(), budget, MinMemBudget(nb, 1))
+	}
+	if st.SpillSize() == 0 {
+		t.Fatal("no bytes ever spilled: budget had no effect")
+	}
+	assertFactorsMatch(t, "budget=quarter", m, ref)
+	// Rank statistics must be readable while tiles are spilled.
+	maxR, meanR := m.RankStats()
+	maxRef, meanRef := ref.RankStats()
+	if maxR != maxRef || meanR != meanRef {
+		t.Fatalf("rank stats differ: (%d,%v) vs (%d,%v)", maxR, meanR, maxRef, meanRef)
+	}
+	if m.Bytes() != ref.Bytes() {
+		t.Fatalf("logical bytes differ: %d vs %d", m.Bytes(), ref.Bytes())
+	}
+}
+
+func TestOOCWorkerInvariance(t *testing.T) {
+	const n, nb = 300, 50
+	ref := refFactor(t, n, nb)
+	for _, workers := range []int{1, 2, 4} {
+		m, _ := oocFactor(t, n, nb, ref.Bytes()/3, workers, nil, runtime.RetryPolicy{})
+		assertFactorsMatch(t, "workers", m, ref)
+	}
+}
+
+// Eviction under retry: chaos-injected task panics force replays while the
+// budget forces evictions, so a replayed task's ReadWrite tiles may have
+// been spilled and reloaded between attempts. The executor pins before
+// snapshotting, so eviction restore and retry restore compose; the result
+// must stay bitwise-identical to the clean in-memory run at every worker
+// count.
+func TestOOCEvictionUnderRetry(t *testing.T) {
+	const n, nb = 300, 50
+	ref := refFactor(t, n, nb)
+	retry := runtime.RetryPolicy{Attempts: 4, Retryable: func(err error) bool {
+		return strings.Contains(err.Error(), "chaos")
+	}}
+	for _, workers := range []int{1, 2, 4} {
+		for _, seed := range []uint64{1, 99} {
+			inj := chaos.NewInjector(&chaos.FaultPlan{Seed: seed, TaskPanics: 5})
+			m, st := oocFactor(t, n, nb, ref.Bytes()/4, workers, inj.TaskHook, retry)
+			if inj.Stats().TaskPanics == 0 {
+				t.Fatalf("seed %d: no faults injected", seed)
+			}
+			if st.SpillSize() == 0 {
+				t.Fatalf("seed %d: nothing spilled", seed)
+			}
+			assertFactorsMatch(t, "chaos", m, ref)
+		}
+	}
+}
+
+// A second execution of the same bound graph (the optimizer-iteration
+// reuse path) must regenerate and refactor correctly with tiles still
+// spilled from the first run.
+func TestOOCGraphReuse(t *testing.T) {
+	const n, nb = 300, 50
+	k, pts := genTestSetup(t, n)
+	ref := refFactor(t, n, nb)
+	m := NewMatrix(n, nb, 1e-7)
+	spec := &GenSpec{K: k, Pts: pts, Metric: geom.Euclidean, Nugget: 1e-9, Comp: SVDCompressor{}}
+	gg := NewGenCholeskyGraph(m, spec, true)
+	st, err := store.NewTemp(t.TempDir(), ref.Bytes()/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	AttachOOC(gg, m, st)
+	for pass := 0; pass < 2; pass++ {
+		if err := gg.G.Execute(runtime.ExecOptions{Workers: 2}); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if err := st.Err(); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		assertFactorsMatch(t, "reuse", m, ref)
+	}
+}

@@ -56,9 +56,13 @@ func (m *Matrix) ForwardSolveMat(b *la.Mat) {
 		for i := 0; i < m.MT; i++ {
 			bi := m.rowBlock(bc, i)
 			for j := 0; j < i; j++ {
+				m.pinOff(i, j)
 				MatMul(m.off[i][j], -1, m.rowBlock(bc, j), bi)
+				m.unpinOff(i, j)
 			}
+			m.pinDiag(i)
 			la.Trsm(la.Left, la.Lower, la.NoTrans, 1, m.diag[i], bi)
+			m.unpinDiag(i)
 		}
 	}
 }
@@ -74,9 +78,13 @@ func (m *Matrix) BackwardSolveMat(b *la.Mat) {
 		for i := m.MT - 1; i >= 0; i-- {
 			bi := m.rowBlock(bc, i)
 			for j := m.MT - 1; j > i; j-- {
+				m.pinOff(j, i)
 				MatMulT(m.off[j][i], -1, m.rowBlock(bc, j), bi)
+				m.unpinOff(j, i)
 			}
+			m.pinDiag(i)
 			la.Trsm(la.Left, la.Lower, la.Transpose, 1, m.diag[i], bi)
+			m.unpinDiag(i)
 		}
 	}
 }
