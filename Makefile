@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench modesbench serve servebench oocbench oocsmoke clean
+.PHONY: build test bench verify kernels tlrbench distbench trace chaos chaosbench orderbench modesbench serve servebench oocbench oocsmoke elasticbench clean
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,16 @@ oocbench:
 # smoke.
 oocsmoke:
 	$(GO) test -race -count=1 -run 'OOC|Pin|Store|Evict|Blob|MemBudget|Checkpoint|KillAndResume' ./internal/tlr/... ./internal/runtime/... ./internal/core/... ./internal/dataio/...
+
+# elasticbench is the elastic-recovery smoke: the shrink-to-survivors suite
+# under the race detector (membership epochs, owner remap, kill-during-panel
+# and kill-during-allreduce recovery, budget enforcement), then the measured
+# snapshot — no-fault overhead of arming recovery plus a 6-rank likelihood
+# that loses a rank mid-Cholesky and must finish bitwise on 5 survivors
+# (BENCH_elastic.json).
+elasticbench:
+	$(GO) test -race -count=1 -run 'Elastic|RankDeath|MarkDead|Shrink|Stale|KillDuring|OwnerMap|RecvFromDead|PanelKill|Readyz' ./internal/mpi/... ./internal/chaos/... ./internal/core/... ./internal/serve/...
+	$(GO) run ./cmd/paperbench -elastic BENCH_elastic.json
 
 # serve runs the kriging service (cmd/exaserve) on :8080.
 serve:

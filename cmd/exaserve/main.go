@@ -64,6 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "exaserve: %v, draining\n", s)
 	}
 
+	srv.BeginShutdown() // readyz → 503 so balancers drain us before the listener stops
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -37,6 +37,7 @@ func main() {
 		servep  = flag.String("serve", "", "run the kriging-service load test (boot exaserve in-process, 10k concurrent predicts: p50/p99 latency, predictions/sec, exact-match + one-factorization evidence), write the JSON report to this path (e.g. BENCH_serve.json), and exit")
 		modes   = flag.String("modes", "", "race every registered evaluator backend (full-block/full-tile/tlr/hodlr) on one clustered dataset: first/steady eval time, storage, rank structure, predict throughput, agreement with dense; write the JSON report to this path (e.g. BENCH_modes.json), and exit")
 		ooc     = flag.String("ooc", "", "run the out-of-core proof (n=100k TLR likelihood under a memory budget several times below the matrix, bitwise vs unbounded; interrupted-fit checkpoint resume; 2.4M-point cluster replay), write the JSON report to this path (e.g. BENCH_ooc.json), and exit")
+		elastic = flag.String("elastic", "", "run the elastic-recovery benchmark (no-fault overhead of arming recovery + a 6-rank likelihood that loses a rank mid-Cholesky and must finish bitwise on 5 survivors), write the JSON report to this path (e.g. BENCH_elastic.json), and exit")
 	)
 	flag.Parse()
 
@@ -106,6 +107,15 @@ func main() {
 	if *ooc != "" {
 		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
 		if err := exprt.WriteOOCBench(*ooc, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *elastic != "" {
+		opts := exprt.Options{Out: os.Stdout, Workers: *workers, Seed: *seed}
+		if err := exprt.WriteElasticBench(*elastic, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -66,6 +66,14 @@ type FaultPlan struct {
 	// value means "no kill") with a panic at its first hook call — the
 	// rank-failure drill for world poisoning.
 	KillRank int
+	// KillAtPanel, when positive, moves the KillRank kill from the run entry
+	// (the RankFault site) to the start of Cholesky panel KillAtPanel (via
+	// the PanelKill hook) — a deterministic mid-factorization kill point for
+	// exercising elastic recovery with partially factored shards. Panel
+	// indices are 1-based here like KillRank, so KillAtPanel=k kills at the
+	// start of the k-th panel; the zero value keeps the legacy run-entry
+	// kill site. Ignored unless KillRank is set.
+	KillAtPanel int
 }
 
 // Validate rejects negative budgets and durations with field-naming errors.
@@ -93,6 +101,12 @@ func (p *FaultPlan) Validate() error {
 	}
 	if p.KillRank < 0 {
 		return fmt.Errorf("chaos: negative KillRank %d", p.KillRank)
+	}
+	if p.KillAtPanel < 0 {
+		return fmt.Errorf("chaos: negative KillAtPanel %d", p.KillAtPanel)
+	}
+	if p.KillAtPanel > 0 && p.KillRank == 0 {
+		return fmt.Errorf("chaos: KillAtPanel=%d without KillRank", p.KillAtPanel)
 	}
 	return nil
 }
@@ -311,9 +325,10 @@ func (in *Injector) CompressMiss(mt, i, j int) bool {
 
 // RankFault kills the plan's victim rank (once per Injector) with a panic;
 // call it at the top of every rank's World.Run closure. Non-victim ranks
-// return immediately.
+// return immediately. When the plan targets a specific panel (KillAtPanel),
+// the kill is deferred to PanelKill and this site is a no-op.
 func (in *Injector) RankFault(rank int) {
-	if in.plan.KillRank != rank+1 {
+	if in.plan.KillRank != rank+1 || in.plan.KillAtPanel > 0 {
 		return
 	}
 	if in.killed.Swap(true) {
@@ -321,4 +336,19 @@ func (in *Injector) RankFault(rank int) {
 	}
 	in.kills.Add(1)
 	panic(fmt.Errorf("%w: rank %d killed", ErrInjected, rank))
+}
+
+// PanelKill is the mpi.DistTLR.PanelHook adapter: it kills the plan's victim
+// rank (once per Injector) with a panic at the start of the plan's target
+// panel — panel KillAtPanel-1, matching the hook's 0-based panel index. A
+// no-op for non-victim ranks, other panels, and plans without KillAtPanel.
+func (in *Injector) PanelKill(rank, panel int) {
+	if in.plan.KillAtPanel == 0 || in.plan.KillRank != rank+1 || in.plan.KillAtPanel != panel+1 {
+		return
+	}
+	if in.killed.Swap(true) {
+		return
+	}
+	in.kills.Add(1)
+	panic(fmt.Errorf("%w: rank %d killed at panel %d", ErrInjected, rank, panel))
 }

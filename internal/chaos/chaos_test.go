@@ -158,6 +158,30 @@ func TestRankFaultFiresOnce(t *testing.T) {
 	}
 }
 
+func TestPanelKillTargetsPanelOnce(t *testing.T) {
+	in := NewInjector(&FaultPlan{KillRank: 3, KillAtPanel: 3}) // rank 2, panel 2
+	in.RankFault(2)                                            // deferred to the panel site: must not fire
+	in.PanelKill(2, 0)                                         // wrong panel
+	in.PanelKill(1, 2)                                         // wrong rank
+	fired := 0
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			in.PanelKill(2, 2)
+		}()
+	}
+	if fired != 1 {
+		t.Fatalf("panel kill fired %d times, want exactly once", fired)
+	}
+	if s := in.Stats(); s.RanksKilled != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
 func TestStatsCountInjections(t *testing.T) {
 	in := NewInjector(&FaultPlan{Seed: 5, TaskPanics: 1, DelayMessages: 1, MessageDelay: time.Microsecond})
 	for id := 0; id < 20; id++ {
@@ -188,6 +212,8 @@ func TestValidateNamesFields(t *testing.T) {
 		{FaultPlan{MessageDelay: -time.Second}, "MessageDelay"},
 		{FaultPlan{CompressMisses: -1}, "CompressMisses"},
 		{FaultPlan{KillRank: -1}, "KillRank"},
+		{FaultPlan{KillRank: 1, KillAtPanel: -1}, "KillAtPanel"},
+		{FaultPlan{KillAtPanel: 2}, "KillAtPanel"},
 	} {
 		err := tc.plan.Validate()
 		if err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -92,6 +92,10 @@ type Diagnostics struct {
 	FactorFailures    int64
 	NuggetEscalations int64
 	LastFailure       string
+	// RanksLost counts the rank deaths this session absorbed via elastic
+	// recovery (always 0 on shared-memory backends and with
+	// ElasticRecovery off).
+	RanksLost int
 }
 
 // BackendSpec describes one registered computation mode: its canonical name

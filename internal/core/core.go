@@ -124,6 +124,19 @@ type Config struct {
 	// never outlive the process, crash or no crash. Ignored unless
 	// MemBudget > 0.
 	SpillDir string
+	// ElasticRecovery, when true, lets the distributed backend survive rank
+	// failures: when a rank dies (panic, injected kill, or a receive timeout
+	// diagnosing a silent peer) the survivors agree on the failure, shrink
+	// the world, deterministically re-materialize the dead rank's tiles, and
+	// resume the factorization and the enclosing fit without restarting the
+	// process. Results are bitwise-identical to an unfaulted run. Requires
+	// the distributed backend (Ranks > 1).
+	ElasticRecovery bool
+	// MaxRankFailures caps how many rank deaths one Session absorbs before
+	// giving up and returning the failure (0 = default 1 when
+	// ElasticRecovery is set). At least one rank must survive. Ignored
+	// unless ElasticRecovery is set.
+	MaxRankFailures int
 }
 
 // DefaultConfig returns the library defaults spelled out: dense full-block
@@ -231,6 +244,18 @@ func (c Config) Validate() error {
 	if c.RecvTimeout < 0 {
 		return fmt.Errorf("core: negative RecvTimeout %v", c.RecvTimeout)
 	}
+	if c.MaxRankFailures < 0 {
+		return fmt.Errorf("core: negative MaxRankFailures %d", c.MaxRankFailures)
+	}
+	if c.ElasticRecovery && ranks <= 1 {
+		return fmt.Errorf("core: ElasticRecovery requires the distributed backend (Ranks > 1), got Ranks=%d", ranks)
+	}
+	if c.MaxRankFailures > 0 && !c.ElasticRecovery {
+		return fmt.Errorf("core: MaxRankFailures=%d without ElasticRecovery", c.MaxRankFailures)
+	}
+	if c.ElasticRecovery && ranks > 1 && c.MaxRankFailures >= ranks {
+		return fmt.Errorf("core: MaxRankFailures=%d leaves no survivor of %d ranks", c.MaxRankFailures, ranks)
+	}
 	if c.Chaos != nil {
 		if err := c.Chaos.Validate(); err != nil {
 			return fmt.Errorf("core: Chaos: %w", err)
@@ -273,6 +298,9 @@ func (c Config) normalized() Config {
 	}
 	if c.NuggetEscalation == 0 {
 		c.NuggetEscalation = 10
+	}
+	if c.ElasticRecovery && c.MaxRankFailures == 0 {
+		c.MaxRankFailures = 1
 	}
 	return c
 }

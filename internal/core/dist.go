@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/la"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tlr"
 )
@@ -113,19 +114,52 @@ func (e *distBackend) CommStats() []mpi.CommStats {
 	return out
 }
 
+// hstRecovery records end-to-end elastic-recovery latency: from the moment a
+// rank death is diagnosed to the resumed run completing on the survivors.
+var hstRecovery = obs.GetHistogram("core.recovery.ns")
+
+// rankDeath scans a Run's per-rank errors for a rank-death diagnosis of the
+// current membership epoch naming a still-live rank. Stale diagnoses (from
+// before an already-completed shrink) and already-dead ranks are skipped.
+func (e *distBackend) rankDeath(errs []error) (int, bool) {
+	epoch := e.world.Epoch()
+	for _, err := range errs {
+		var rd *mpi.RankDeath
+		if errors.As(err, &rd) && rd.Epoch == epoch && e.world.Alive(rd.Rank) {
+			return rd.Rank, true
+		}
+	}
+	return -1, false
+}
+
 // withFactored regenerates the shards for kernel k, factors them with the
 // distributed TLR Cholesky, and runs fn on every rank against its factored
-// shard. A Cholesky breakdown — which the SPD-agreement allreduce makes every
-// rank observe identically — escalates the nugget and re-runs the whole
-// world, matching the shared-memory ladder; regeneration rebuilds every tile
-// from scratch, so the retry starts clean. The first rank error of a
-// non-recoverable run is returned.
+// shard. Two failure ladders wrap the run:
+//
+//   - A Cholesky breakdown — which the SPD-agreement allreduce makes every
+//     rank observe identically — escalates the nugget and re-runs the whole
+//     world, matching the shared-memory ladder; regeneration rebuilds every
+//     tile from scratch, so the retry starts clean.
+//   - With ElasticRecovery, a rank death (panic or diagnosed silence) marks
+//     the rank dead and re-runs on the survivors in recovery mode: the run
+//     opens with the epoch-tagged membership agreement (doubling as the
+//     post-shrink barrier), remaps ownership, re-materializes the dead
+//     rank's tiles from the deterministic generators, and resumes the
+//     progress-gated Cholesky — survivors skip work already absorbed, so
+//     only the rebuilt tiles compute, and the result is bitwise-identical
+//     to an unfaulted run.
+//
+// The first rank error of a non-recoverable run is returned.
 func (e *distBackend) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi.Comm, d *mpi.DistTLR) error) error {
 	cur := nugget
+	recovering := false
+	var recoverStart time.Time
 	for attempt := 0; ; attempt++ {
 		cntFactorRuns.Inc()
+		recovery := recovering
+		recovering = false
 		errs := e.world.Run(func(c *mpi.Comm) error {
-			if e.inj != nil {
+			if e.inj != nil && !recovery {
 				e.inj.RankFault(c.Rank())
 			}
 			d := e.shards[c.Rank()]
@@ -133,10 +167,20 @@ func (e *distBackend) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi
 				d = mpi.NewDistTLR(c.Rank(), e.grid, e.p.Points, e.p.Metric, e.cfg.TileSize, e.cfg.Accuracy, e.comp)
 				if e.inj != nil {
 					d.ForceMiss = e.inj.CompressMiss
+					d.PanelHook = e.inj.PanelKill
 				}
 				e.shards[c.Rank()] = d
 			}
-			d.Generate(k, cur)
+			if recovery {
+				alive, _, err := c.AgreeAlive()
+				if err != nil {
+					return err
+				}
+				d.ApplyMembership(alive)
+				d.Rebuild(k, cur)
+			} else {
+				d.Generate(k, cur)
+			}
 			if err := d.Cholesky(c); err != nil {
 				return err
 			}
@@ -150,8 +194,21 @@ func (e *distBackend) withFactored(k *cov.Kernel, nugget float64, fn func(c *mpi
 			}
 		}
 		if firstErr == nil {
+			if recovery {
+				hstRecovery.Observe(time.Since(recoverStart).Nanoseconds())
+			}
 			e.diag.LastNugget, e.diag.LastRetries = cur, attempt
 			return nil
+		}
+		if e.cfg.ElasticRecovery && e.diag.RanksLost < e.cfg.MaxRankFailures && e.world.AliveCount() > 1 {
+			if dead, ok := e.rankDeath(errs); ok {
+				recoverStart = time.Now()
+				e.world.MarkDead(dead)
+				e.diag.RanksLost++
+				e.diag.LastFailure = firstErr.Error()
+				recovering = true
+				continue
+			}
 		}
 		cntFactorFail.Inc()
 		e.diag.FactorFailures++
@@ -184,18 +241,24 @@ func (e *distBackend) evalParts(k *cov.Kernel, nugget float64) (logDet, quad flo
 		if err := d.ForwardSolve(c, y); err != nil {
 			return err
 		}
-		// per-rank partial ‖y‖² over owned diagonal blocks: every element
-		// counted exactly once, combined with one AllreduceSum
-		var part float64
+		// per-tile-row ‖y‖² contributions, reduced as a vector (one nonzero
+		// contributor per slot — exact) and summed in fixed i-ascending
+		// order, so the quadratic form is bitwise-independent of how tile
+		// rows are grouped over ranks (the elastic-recovery guarantee).
+		qvec := make([]float64, d.MT)
 		for i := 0; i < d.MT; i++ {
-			if d.Grid.Owner(i, i) == c.Rank() {
+			if d.Owner(i, i) == c.Rank() {
 				yi := y[i*d.NB : i*d.NB+d.TileDim(i)]
-				part += la.Dot(yi, yi)
+				qvec[i] = la.Dot(yi, yi)
 			}
 		}
-		quad, err := c.AllreduceSum(distTagQuad, part)
+		qsum, err := c.AllreduceSumVec(distTagQuad, qvec)
 		if err != nil {
 			return err
+		}
+		var quad float64
+		for _, v := range qsum {
+			quad += v
 		}
 		bytes, err := c.AllreduceSum(distTagBytes, float64(d.Bytes()))
 		if err != nil {
@@ -223,7 +286,7 @@ func (e *distBackend) evalParts(k *cov.Kernel, nugget float64) (logDet, quad flo
 	if err != nil {
 		return 0, 0, LikResult{}, err
 	}
-	p0 := out[0]
+	p0 := out[e.world.LowestAlive()]
 	diag = LikResult{Bytes: int64(p0.bytes), MaxRank: int(p0.maxRank)}
 	if p0.rankCnt > 0 {
 		diag.MeanRank = p0.rankSum / p0.rankCnt
@@ -270,8 +333,8 @@ func (e *distBackend) ProfiledLogLikelihood(rangeP, smoothness float64) (logL, v
 }
 
 // SolveVec overwrites b with Σ⁻¹·b using the distributed factorization.
-// Every rank works on a private replica; rank 0's (identical) result is
-// copied back into b.
+// Every rank works on a private replica; the lowest live rank's (identical)
+// result is copied back into b.
 func (e *distBackend) SolveVec(k *cov.Kernel, nugget float64, b []float64) error {
 	replicas := make([][]float64, e.cfg.Ranks)
 	err := e.withFactored(k, nugget, func(c *mpi.Comm, d *mpi.DistTLR) error {
@@ -285,7 +348,7 @@ func (e *distBackend) SolveVec(k *cov.Kernel, nugget float64, b []float64) error
 	if err != nil {
 		return err
 	}
-	copy(b, replicas[0])
+	copy(b, replicas[e.world.LowestAlive()])
 	return nil
 }
 
@@ -293,8 +356,8 @@ func (e *distBackend) SolveVec(k *cov.Kernel, nugget float64, b []float64) error
 // once, forward-solves y = L⁻¹·Z₂ on every rank, then assembles and
 // forward-solves Σ₂₁ one TileSize-wide column block at a time — each rank
 // holds one n×chunk block instead of the full n×m W. Every rank computes an
-// identical replica; rank 0 hands each solved block to visit (called
-// sequentially, with the block's starting column) so the caller can
+// identical replica; the lowest live rank hands each solved block to visit
+// (called sequentially, with the block's starting column) so the caller can
 // accumulate means and norms without the blocks ever coexisting.
 func (e *distBackend) HalfSolveChunked(k *cov.Kernel, nugget float64, newPts []geom.Point, chunk int, y []float64, visit func(col int, w *la.Mat, y []float64)) error {
 	n := e.p.N()
@@ -311,7 +374,7 @@ func (e *distBackend) HalfSolveChunked(k *cov.Kernel, nugget float64, newPts []g
 			if err := d.ForwardSolveMat(c, w); err != nil {
 				return err
 			}
-			if c.Rank() == 0 {
+			if c.Rank() == c.LowestAlive() {
 				visit(c0, w, yr)
 			}
 		}

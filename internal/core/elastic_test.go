@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestElasticConfigValidation: the ElasticRecovery/MaxRankFailures knobs are
+// validated against the resolved rank count and each other.
+func TestElasticConfigValidation(t *testing.T) {
+	base := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-7}
+	for _, tc := range []struct {
+		name string
+		mut  func(c *Config)
+		want string
+	}{
+		{"shared-memory", func(c *Config) { c.ElasticRecovery = true }, "Ranks > 1"},
+		{"negative", func(c *Config) { c.Ranks = 4; c.ElasticRecovery = true; c.MaxRankFailures = -1 }, "MaxRankFailures"},
+		{"without-elastic", func(c *Config) { c.Ranks = 4; c.MaxRankFailures = 1 }, "without ElasticRecovery"},
+		{"no-survivor", func(c *Config) { c.Ranks = 4; c.ElasticRecovery = true; c.MaxRankFailures = 4 }, "no survivor"},
+	} {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	ok := base
+	ok.Ranks = 6
+	ok.ElasticRecovery = true
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid elastic config rejected: %v", err)
+	}
+	if got := ok.normalized().MaxRankFailures; got != 1 {
+		t.Fatalf("normalized MaxRankFailures = %d, want default 1", got)
+	}
+}
+
+// elasticCfg is the 6-rank distributed configuration the recovery tests
+// drill: one injected kill at the start of Cholesky panel 3 of the victim.
+func elasticCfg(victim, panel int) Config {
+	return Config{
+		Mode: TLR, TileSize: 32, Accuracy: 1e-7, Grid: [2]int{2, 3},
+		ElasticRecovery: true,
+		Chaos:           &chaos.FaultPlan{KillRank: victim + 1, KillAtPanel: panel + 1},
+	}
+}
+
+// TestElasticRecoveryLogLikBitwise: a 6-rank likelihood evaluation that
+// loses one rank mid-Cholesky completes on the 5 survivors with a value
+// bitwise-identical to the unfaulted run, and the session reports the
+// absorbed death. Small enough to stay in the -race suite.
+func TestElasticRecoveryLogLikBitwise(t *testing.T) {
+	p := smallProblem(t, 240, 13)
+	th := theta()
+	clean := Config{Mode: TLR, TileSize: 32, Accuracy: 1e-7, Grid: [2]int{2, 3}}
+	want, err := LogLikelihood(p, th, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		victim int
+		panel  int
+	}{
+		{"mid-panel", 4, 3},
+		{"root-death", 0, 3},
+		{"run-entry", 2, -1}, // KillAtPanel=0: the legacy run-entry kill site
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSession(p, elasticCfg(tc.victim, tc.panel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.LogLikelihood(th)
+			if err != nil {
+				t.Fatalf("faulted evaluation did not recover: %v", err)
+			}
+			if got.Value != want.Value || got.LogDet != want.LogDet || got.QuadForm != want.QuadForm {
+				t.Errorf("recovered loglik (%.17g, %.17g, %.17g) != unfaulted (%.17g, %.17g, %.17g)",
+					got.Value, got.LogDet, got.QuadForm, want.Value, want.LogDet, want.QuadForm)
+			}
+			if m := s.Metrics(); m.RanksLost != 1 {
+				t.Errorf("Metrics.RanksLost = %d, want 1", m.RanksLost)
+			}
+			// the shrunken world must keep serving: a second evaluation on
+			// the survivors still matches bitwise
+			again, err := s.LogLikelihood(th)
+			if err != nil {
+				t.Fatalf("post-recovery evaluation failed: %v", err)
+			}
+			if again.Value != want.Value {
+				t.Errorf("post-recovery loglik %.17g != unfaulted %.17g", again.Value, want.Value)
+			}
+		})
+	}
+}
+
+// TestElasticRecoveryDisabledStillFails: without ElasticRecovery the same
+// injected kill is fatal — the session reports the injected fault instead of
+// silently shrinking.
+func TestElasticRecoveryDisabledStillFails(t *testing.T) {
+	p := smallProblem(t, 240, 13)
+	cfg := elasticCfg(4, 3)
+	cfg.ElasticRecovery = false
+	cfg.MaxRankFailures = 0
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LogLikelihood(theta()); err == nil {
+		t.Fatal("kill without ElasticRecovery must fail the evaluation")
+	} else if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("error %v does not wrap the injected fault", err)
+	}
+}
+
+// TestElasticRecoveryFailureBudget: a second death past MaxRankFailures
+// (default 1) is fatal even with recovery on, and the absorbed-death count
+// stays at the budget.
+func TestElasticRecoveryFailureBudget(t *testing.T) {
+	p := smallProblem(t, 240, 13)
+	cfg := elasticCfg(4, 3)
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LogLikelihood(theta()); err != nil {
+		t.Fatalf("first death must be absorbed: %v", err)
+	}
+	db := s.Backend().(*distBackend)
+	var fired atomic.Bool
+	db.shards[1].PanelHook = func(rank, panel int) {
+		if rank == 1 && panel == 2 && !fired.Swap(true) {
+			panic(errors.New("second injected death"))
+		}
+	}
+	if _, err := s.LogLikelihood(theta()); err == nil {
+		t.Fatal("second death past MaxRankFailures must fail the evaluation")
+	}
+	if got := s.Backend().Diagnostics().RanksLost; got != 1 {
+		t.Fatalf("RanksLost = %d, want the budget 1", got)
+	}
+}
+
+// TestElasticFitAndPredictMatchUnfaulted is the tentpole acceptance test: a
+// 6-rank Fit that loses a rank mid-Cholesky completes on 5 survivors with
+// θ̂, log-likelihood, and predictions bitwise-identical to the unfaulted
+// 6-rank fit, without restarting the process.
+func TestElasticFitAndPredictMatchUnfaulted(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two full Nelder-Mead runs; TestElasticRecoveryLogLikBitwise keeps race coverage")
+	}
+	syn, err := GenerateSynthetic(400, 40, theta(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := syn.Train
+	opts := FitOptions{FixSmoothness: true, Start: theta(), MaxEvals: 60}
+	clean := Config{Mode: TLR, TileSize: 64, Accuracy: 1e-7, Grid: [2]int{2, 3}}
+	want, err := Fit(p, clean, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPred, err := Predict(p, syn.TestPoints, want.Theta, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := elasticCfg(3, 3)
+	cfg.TileSize = 64
+	got, err := Fit(p, cfg, opts)
+	if err != nil {
+		t.Fatalf("faulted fit did not recover: %v", err)
+	}
+	if got.Theta != want.Theta {
+		t.Errorf("recovered θ̂ %+v != unfaulted %+v", got.Theta, want.Theta)
+	}
+	if got.LogL != want.LogL {
+		t.Errorf("recovered logL %.17g != unfaulted %.17g", got.LogL, want.LogL)
+	}
+	if got.Evals != want.Evals {
+		t.Errorf("recovered fit took %d evals, unfaulted %d", got.Evals, want.Evals)
+	}
+	gotPred, err := Predict(p, syn.TestPoints, got.Theta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotPred {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("prediction %d: recovered %.17g != unfaulted %.17g", i, gotPred[i], wantPred[i])
+		}
+	}
+}

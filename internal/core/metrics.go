@@ -34,6 +34,9 @@ type Metrics struct {
 	FactorFailures    int64
 	NuggetEscalations int64
 	LastFactorFailure string
+	// RanksLost counts the rank deaths this session absorbed via elastic
+	// recovery (Config.ElasticRecovery); 0 for shared-memory sessions.
+	RanksLost int
 }
 
 // EnableTracing switches the session's graph executions to traced mode.
@@ -55,6 +58,7 @@ func (s *Session) Metrics() Metrics {
 	m.FactorFailures = d.FactorFailures
 	m.NuggetEscalations = d.NuggetEscalations
 	m.LastFactorFailure = d.LastFailure
+	m.RanksLost = d.RanksLost
 	m.Trace = s.be.Trace()
 	m.Comm = s.CommStats()
 	return m

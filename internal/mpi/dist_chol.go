@@ -21,14 +21,7 @@ func (g Grid) Owner(i, j int) int { return (i%g.P)*g.Q + j%g.Q }
 // need the factored diagonal tile L_kk: the owners of the panel tiles
 // (i, k), i > k, which apply the triangular solve to their tiles.
 func (g Grid) DiagRecipients(k, mt int) []int {
-	owner := g.Owner(k, k)
-	var out []int
-	for i := k + 1; i < mt; i++ {
-		if r := g.Owner(i, k); r != owner && !contains(out, r) {
-			out = append(out, r)
-		}
-	}
-	return out
+	return diagRecipients(g.Owner, k, mt)
 }
 
 // PanelRecipients returns the ranks (other than the owner) that consume the
@@ -42,20 +35,7 @@ func (g Grid) DiagRecipients(k, mt int) []int {
 // corruption, and it ships strictly fewer bytes than a blanket process
 // row+column broadcast when the trailing submatrix is narrow.
 func (g Grid) PanelRecipients(i, k, mt int) []int {
-	owner := g.Owner(i, k)
-	var out []int
-	add := func(r int) {
-		if r != owner && !contains(out, r) {
-			out = append(out, r)
-		}
-	}
-	for j := k + 1; j <= i; j++ {
-		add(g.Owner(i, j))
-	}
-	for a := i + 1; a < mt; a++ {
-		add(g.Owner(a, i))
-	}
-	return out
+	return panelRecipients(g.Owner, i, k, mt)
 }
 
 // tileKey identifies a tile in a rank's local store.

@@ -37,10 +37,31 @@ type DistTLR struct {
 	// ForceMiss, when non-nil, forces tile (i, j) of the mt×mt tiling to
 	// miss the compression tolerance and store densely (chaos injection).
 	ForceMiss func(mt, i, j int) bool
+	// PanelHook, when non-nil, is called by every rank at the start of each
+	// Cholesky panel — the deterministic kill point chaos injection targets
+	// to exercise elastic recovery at a reproducible panel epoch.
+	PanelHook func(rank, k int)
+
+	// Owners maps tiles to physical ranks through the membership overlay:
+	// identical to Grid while every rank lives, remapped deterministically
+	// to the survivors after a shrink (see OwnerMap).
+	Owners *OwnerMap
 
 	diag    map[int]*la.Mat
 	off     map[tileKey]*tlr.CompTile
 	scratch *la.Mat
+
+	// Per-tile factorization progress, the state that makes the Cholesky
+	// resumable: every in-place mutation of right-looking Cholesky moves a
+	// tile monotonically toward its final value, so recording how far each
+	// tile has advanced (trailing updates applied in ascending panel order,
+	// then the one-shot TRSM or POTRF) lets a recovery run replay the full
+	// communication schedule while skipping exactly the arithmetic that
+	// already happened. Generate resets all of it.
+	diagUpd  map[int]int      // diag tile i: SYRK panel updates applied (next panel to apply)
+	diagFact map[int]bool     // diag tile i: POTRF applied (tile holds L_ii)
+	offUpd   map[tileKey]int  // off tile (i,j): GEMM panel updates applied
+	offSolve map[tileKey]bool // off tile (i,k): TRSM applied (tile holds L_ik)
 }
 
 // NewDistTLR allocates rank's empty shard of an n×n TLR matrix distributed
@@ -50,12 +71,28 @@ func NewDistTLR(rank int, grid Grid, pts []geom.Point, metric geom.Metric, nb in
 	if n == 0 || nb <= 0 {
 		panic(fmt.Sprintf("mpi: invalid DistTLR dims n=%d nb=%d", n, nb))
 	}
-	return &DistTLR{
+	d := &DistTLR{
 		N: n, NB: nb, MT: (n + nb - 1) / nb, Tol: tol,
 		Grid: grid, Rank: rank,
 		Pts: pts, Metric: metric, Comp: comp,
-		diag: map[int]*la.Mat{}, off: map[tileKey]*tlr.CompTile{},
+		Owners: NewOwnerMap(grid),
+		diag:   map[int]*la.Mat{}, off: map[tileKey]*tlr.CompTile{},
 	}
+	d.resetProgress()
+	return d
+}
+
+// Owner returns the physical rank owning tile (i, j) under the current
+// membership (identical to Grid.Owner until a rank dies).
+func (d *DistTLR) Owner(i, j int) int { return d.Owners.Owner(i, j) }
+
+// resetProgress forgets all per-tile factorization progress: the shard again
+// holds (or will hold, after Generate) raw Σ tiles.
+func (d *DistTLR) resetProgress() {
+	d.diagUpd = map[int]int{}
+	d.diagFact = map[int]bool{}
+	d.offUpd = map[tileKey]int{}
+	d.offSolve = map[tileKey]bool{}
 }
 
 // TileDim returns the edge of tile row i.
@@ -84,42 +121,93 @@ func (d *DistTLR) Generate(k *cov.Kernel, nugget float64) {
 	if d.scratch == nil {
 		d.scratch = la.NewMat(d.NB, d.NB)
 	}
+	d.resetProgress()
 	for i := 0; i < d.MT; i++ {
-		di := d.TileDim(i)
-		ri := d.Pts[i*d.NB : i*d.NB+di]
 		for j := 0; j <= i; j++ {
-			if d.Grid.Owner(i, j) != d.Rank {
+			if d.Owner(i, j) != d.Rank {
+				continue
+			}
+			d.genTile(k, nugget, i, j)
+		}
+	}
+}
+
+// genTile (re)generates owned tile (i, j) of Σ(θ) into the local store and
+// returns its storage footprint in bytes. Deterministic per tile: stochastic
+// compressors implementing tlr.TileCompressor are re-seeded from (i, j), so
+// any rank generating the tile — original owner or a survivor inheriting it
+// after a failure — produces bitwise-identical contents.
+func (d *DistTLR) genTile(k *cov.Kernel, nugget float64, i, j int) int64 {
+	di := d.TileDim(i)
+	ri := d.Pts[i*d.NB : i*d.NB+di]
+	if i == j {
+		t := d.diag[i]
+		if t == nil {
+			t = la.NewMat(di, di)
+			d.diag[i] = t
+		}
+		k.Block(t, ri, ri, d.Metric)
+		if nugget != 0 {
+			for a := 0; a < di; a++ {
+				t.Set(a, a, t.At(a, a)+nugget)
+			}
+		}
+		return int64(di) * int64(di) * 8
+	}
+	dj := d.TileDim(j)
+	dense := d.scratch.View(0, 0, di, dj)
+	k.Block(dense, ri, d.Pts[j*d.NB:j*d.NB+dj], d.Metric)
+	comp := d.Comp
+	if tc, ok := comp.(tlr.TileCompressor); ok {
+		comp = tc.ForTile(i, j)
+	}
+	t := comp.Compress(dense, d.Tol)
+	if (d.MaxRank > 0 && t.Rank() > d.MaxRank) ||
+		(d.ForceMiss != nil && d.ForceMiss(d.MT, i, j)) {
+		t = tlr.NewDenseTile(dense.Clone())
+	}
+	d.off[tileKey{i, j}] = t
+	return t.Bytes()
+}
+
+// ApplyMembership remaps tile ownership to an agreed membership view (the
+// []bool from Comm.AgreeAlive). Survivors keep every tile they hold; dead
+// ranks' slots are dealt deterministically to the survivors. Returns the
+// slots that changed hands. Follow with Rebuild to materialize the tiles
+// this rank inherited.
+func (d *DistTLR) ApplyMembership(alive []bool) []int {
+	return d.Owners.Reassign(alive)
+}
+
+// Rebuild regenerates the owned tiles the local store does not yet hold —
+// the dead ranks' tiles the membership remap dealt to this rank. Generation
+// is deterministic per tile, so the rebuilt tiles are bitwise-identical to
+// the Σ tiles the dead rank generated; their progress entries stay zero, so
+// the resumed Cholesky replays every panel update they missed. Returns the
+// regenerated bytes (also accumulated on the tlr.shard.rebuilt.bytes
+// counter).
+func (d *DistTLR) Rebuild(k *cov.Kernel, nugget float64) int64 {
+	if d.scratch == nil {
+		d.scratch = la.NewMat(d.NB, d.NB)
+	}
+	var bytes int64
+	for i := 0; i < d.MT; i++ {
+		for j := 0; j <= i; j++ {
+			if d.Owner(i, j) != d.Rank {
 				continue
 			}
 			if i == j {
-				t := d.diag[i]
-				if t == nil {
-					t = la.NewMat(di, di)
-					d.diag[i] = t
+				if d.diag[i] != nil {
+					continue
 				}
-				k.Block(t, ri, ri, d.Metric)
-				if nugget != 0 {
-					for a := 0; a < di; a++ {
-						t.Set(a, a, t.At(a, a)+nugget)
-					}
-				}
+			} else if d.off[tileKey{i, j}] != nil {
 				continue
 			}
-			dj := d.TileDim(j)
-			dense := d.scratch.View(0, 0, di, dj)
-			k.Block(dense, ri, d.Pts[j*d.NB:j*d.NB+dj], d.Metric)
-			comp := d.Comp
-			if tc, ok := comp.(tlr.TileCompressor); ok {
-				comp = tc.ForTile(i, j)
-			}
-			t := comp.Compress(dense, d.Tol)
-			if (d.MaxRank > 0 && t.Rank() > d.MaxRank) ||
-				(d.ForceMiss != nil && d.ForceMiss(d.MT, i, j)) {
-				t = tlr.NewDenseTile(dense.Clone())
-			}
-			d.off[tileKey{i, j}] = t
+			bytes += d.genTile(k, nugget, i, j)
 		}
 	}
+	cntShardRebuilt.Add(bytes)
+	return bytes
 }
 
 // encodeCompTile packs a compressed tile as [rows, cols, rank, U row-major,
@@ -180,18 +268,35 @@ func decodeCompTile(data []float64) *tlr.CompTile {
 //
 // A non-SPD pivot is agreed via one small allreduce per panel and returned
 // as an error on every rank, with all broadcasts still consumed.
+//
+// The factorization is resumable: every arithmetic step is gated on the
+// per-tile progress maps, while the communication schedule is replayed
+// unconditionally. A recovery run after a rank failure therefore exchanges
+// exactly the messages a fresh run would (so recipient sets stay consistent
+// and mailboxes drain), but survivors skip work their tiles already absorbed
+// and only the rebuilt tiles — regenerated raw and holding zero progress —
+// actually compute. Because each tile's mutations are monotonic toward its
+// final value and applied in fixed k-ascending order, the resumed result is
+// bitwise-identical to an unfaulted factorization.
 func (d *DistTLR) Cholesky(c *Comm) error {
-	g := d.Grid
+	own := d.Owner
 	mt := d.MT
 	for k := 0; k < mt; k++ {
+		if d.PanelHook != nil {
+			d.PanelHook(c.Rank(), k)
+		}
 		var lkk *la.Mat
-		diagOwner := g.Owner(k, k)
-		diagTo := g.DiagRecipients(k, mt)
+		diagOwner := own(k, k)
+		diagTo := diagRecipients(own, k, mt)
 		failed := 0.0
 		if c.Rank() == diagOwner {
 			t := d.diag[k]
-			if err := la.Potrf(t); err != nil {
-				failed = 1
+			if !d.diagFact[k] {
+				if err := la.Potrf(t); err != nil {
+					failed = 1
+				} else {
+					d.diagFact[k] = true
+				}
 			}
 			lkk = t
 			for _, r := range diagTo {
@@ -214,11 +319,15 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 		}
 
 		for i := k + 1; i < mt; i++ {
-			if c.Rank() == g.Owner(i, k) {
-				t := d.off[tileKey{i, k}]
-				tlr.TrsmLD(lkk, t)
+			if c.Rank() == own(i, k) {
+				key := tileKey{i, k}
+				t := d.off[key]
+				if !d.offSolve[key] {
+					tlr.TrsmLD(lkk, t)
+					d.offSolve[key] = true
+				}
 				payload := encodeCompTile(t)
-				for _, r := range g.PanelRecipients(i, k, mt) {
+				for _, r := range panelRecipients(own, i, k, mt) {
 					c.Send(r, tagOf(kindPanel, i, k), payload)
 				}
 			}
@@ -230,7 +339,7 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 				return t, nil
 			}
 			var t *tlr.CompTile
-			if owner := g.Owner(i, k); c.Rank() == owner {
+			if owner := own(i, k); c.Rank() == owner {
 				t = d.off[tileKey{i, k}]
 			} else {
 				data, err := c.Recv(owner, tagOf(kindPanel, i, k))
@@ -244,7 +353,7 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 		}
 		for i := k + 1; i < mt; i++ {
 			for j := k + 1; j <= i; j++ {
-				if g.Owner(i, j) != c.Rank() {
+				if own(i, j) != c.Rank() {
 					continue
 				}
 				pi, err := needPanel(i)
@@ -252,14 +361,20 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 					return err
 				}
 				if i == j {
-					tlr.SyrkLD(d.diag[i], pi)
+					if d.diagUpd[i] == k {
+						tlr.SyrkLD(d.diag[i], pi)
+						d.diagUpd[i] = k + 1
+					}
 				} else {
 					pj, err := needPanel(j)
 					if err != nil {
 						return err
 					}
 					key := tileKey{i, j}
-					d.off[key] = tlr.GemmLL(d.off[key], pi, pj, d.Tol, d.MaxRank)
+					if d.offUpd[key] == k {
+						d.off[key] = tlr.GemmLL(d.off[key], pi, pj, d.Tol, d.MaxRank)
+						d.offUpd[key] = k + 1
+					}
 				}
 			}
 		}
@@ -267,17 +382,30 @@ func (d *DistTLR) Cholesky(c *Comm) error {
 	return nil
 }
 
-// LogDet computes log|A| after Cholesky: each rank sums la.LogDetFromChol
-// over its owned diagonal tiles, one AllreduceSum combines them (the paper's
-// first likelihood term).
+// LogDet computes log|A| after Cholesky (the paper's first likelihood term).
+// The reduction is a per-tile vector allreduce — each slot has exactly one
+// nonzero contributor, so the combine is exact — followed by a k-ascending
+// sum on every rank. Unlike a scalar sum of per-rank partials, the result
+// does not depend on how tiles are grouped over ranks, so it is
+// bitwise-identical at any grid shape and across membership changes — the
+// property the elastic-recovery "identical to the unfaulted run" guarantee
+// rests on.
 func (d *DistTLR) LogDet(c *Comm) (float64, error) {
-	var local float64
+	vec := make([]float64, d.MT)
 	for k := 0; k < d.MT; k++ {
-		if d.Grid.Owner(k, k) == c.Rank() {
-			local += la.LogDetFromChol(d.diag[k])
+		if d.Owner(k, k) == c.Rank() {
+			vec[k] = la.LogDetFromChol(d.diag[k])
 		}
 	}
-	return c.AllreduceSum(tagOf(kindSum, 0, 0), local)
+	sum, err := c.AllreduceSumVec(tagOf(kindSum, 0, 0), vec)
+	if err != nil {
+		return 0, err
+	}
+	var out float64
+	for _, v := range sum {
+		out += v
+	}
+	return out, nil
 }
 
 // ForwardSolve solves L·x = b in place against the factored shard. b is
@@ -297,11 +425,11 @@ func (d *DistTLR) ForwardSolve(c *Comm, b []float64) error {
 	for i := 0; i < d.MT; i++ {
 		di := d.TileDim(i)
 		bi := b[i*d.NB : i*d.NB+di]
-		diagOwner := d.Grid.Owner(i, i)
+		diagOwner := d.Owner(i, i)
 		// contribution senders
 		if c.Rank() != diagOwner {
 			for j := 0; j < i; j++ {
-				if c.Rank() != d.Grid.Owner(i, j) {
+				if c.Rank() != d.Owner(i, j) {
 					continue
 				}
 				bj := b[j*d.NB : j*d.NB+d.TileDim(j)]
@@ -312,7 +440,7 @@ func (d *DistTLR) ForwardSolve(c *Comm, b []float64) error {
 		}
 		if c.Rank() == diagOwner {
 			for j := 0; j < i; j++ {
-				owner := d.Grid.Owner(i, j)
+				owner := d.Owner(i, j)
 				if owner == c.Rank() {
 					bj := b[j*d.NB : j*d.NB+d.TileDim(j)]
 					tlr.MatVec(d.off[tileKey{i, j}], -1, bj, bi)
@@ -327,7 +455,7 @@ func (d *DistTLR) ForwardSolve(c *Comm, b []float64) error {
 				}
 			}
 			la.ForwardSolveVec(d.diag[i], bi)
-			for r := 0; r < c.Size(); r++ {
+			for _, r := range c.AliveRanks() {
 				if r != c.Rank() {
 					c.Send(r, tagOf(kindFwdB, i, 0), bi)
 				}
@@ -354,10 +482,10 @@ func (d *DistTLR) BackwardSolve(c *Comm, b []float64) error {
 	for i := d.MT - 1; i >= 0; i-- {
 		di := d.TileDim(i)
 		bi := b[i*d.NB : i*d.NB+di]
-		diagOwner := d.Grid.Owner(i, i)
+		diagOwner := d.Owner(i, i)
 		if c.Rank() != diagOwner {
 			for j := d.MT - 1; j > i; j-- {
-				if c.Rank() != d.Grid.Owner(j, i) {
+				if c.Rank() != d.Owner(j, i) {
 					continue
 				}
 				bj := b[j*d.NB : j*d.NB+d.TileDim(j)]
@@ -368,7 +496,7 @@ func (d *DistTLR) BackwardSolve(c *Comm, b []float64) error {
 		}
 		if c.Rank() == diagOwner {
 			for j := d.MT - 1; j > i; j-- {
-				owner := d.Grid.Owner(j, i)
+				owner := d.Owner(j, i)
 				if owner == c.Rank() {
 					bj := b[j*d.NB : j*d.NB+d.TileDim(j)]
 					tlr.MatVecT(d.off[tileKey{j, i}], -1, bj, bi)
@@ -384,7 +512,7 @@ func (d *DistTLR) BackwardSolve(c *Comm, b []float64) error {
 			}
 			bm := la.NewMatFrom(di, 1, bi)
 			la.Trsm(la.Left, la.Lower, la.Transpose, 1, d.diag[i], bm)
-			for r := 0; r < c.Size(); r++ {
+			for _, r := range c.AliveRanks() {
 				if r != c.Rank() {
 					c.Send(r, tagOf(kindBwdB, i, 0), bi)
 				}
@@ -419,10 +547,10 @@ func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) error {
 	for i := 0; i < d.MT; i++ {
 		di := d.TileDim(i)
 		bi := b.View(i*d.NB, 0, di, nc)
-		diagOwner := d.Grid.Owner(i, i)
+		diagOwner := d.Owner(i, i)
 		if c.Rank() != diagOwner {
 			for j := 0; j < i; j++ {
-				if c.Rank() != d.Grid.Owner(i, j) {
+				if c.Rank() != d.Owner(i, j) {
 					continue
 				}
 				bj := b.View(j*d.NB, 0, d.TileDim(j), nc)
@@ -433,7 +561,7 @@ func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) error {
 		}
 		if c.Rank() == diagOwner {
 			for j := 0; j < i; j++ {
-				owner := d.Grid.Owner(i, j)
+				owner := d.Owner(i, j)
 				if owner == c.Rank() {
 					bj := b.View(j*d.NB, 0, d.TileDim(j), nc)
 					tlr.MatMul(d.off[tileKey{i, j}], -1, bj, bi)
@@ -456,7 +584,7 @@ func (d *DistTLR) ForwardSolveMat(c *Comm, b *la.Mat) error {
 			for a := 0; a < di; a++ {
 				payload = append(payload, bi.Row(a)...)
 			}
-			for r := 0; r < c.Size(); r++ {
+			for _, r := range c.AliveRanks() {
 				if r != c.Rank() {
 					c.Send(r, tagOf(kindFwdB, i, 0), payload)
 				}

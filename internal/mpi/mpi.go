@@ -20,9 +20,12 @@ import (
 	"time"
 )
 
-// message is one tagged payload in flight.
+// message is one tagged payload in flight. epoch stamps the membership
+// epoch it was sent under: after a shrink, messages from the previous epoch
+// are stale by definition and receivers discard them on sight.
 type message struct {
 	src, tag int
+	epoch    int64
 	data     []float64
 }
 
@@ -72,6 +75,14 @@ type World struct {
 	failMu   sync.Mutex
 	failErr  error
 	poisoned atomic.Bool
+
+	// Membership: alive flags, the epoch that advances at every MarkDead,
+	// and per-rank last-heard-from stamps (see Health). Run spawns
+	// goroutines only for live ranks, so a shrunken World keeps the
+	// original rank numbering while executing on the survivors.
+	alive     []atomic.Bool
+	epoch     atomic.Int64
+	lastHeard []atomic.Int64
 }
 
 // SetMsgHook installs the fault-injection hook for cross-rank messages.
@@ -143,11 +154,15 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size), stats: make([]commCounters, size)}
+	w := &World{
+		size: size, boxes: make([]*mailbox, size), stats: make([]commCounters, size),
+		alive: make([]atomic.Bool, size), lastHeard: make([]atomic.Int64, size),
+	}
 	for i := range w.boxes {
 		mb := &mailbox{}
 		mb.cond = sync.NewCond(&mb.mu)
 		w.boxes[i] = mb
+		w.alive[i].Store(true)
 	}
 	return w
 }
@@ -194,9 +209,17 @@ func (w *World) At(rank int) *Comm {
 // is retried up to maxTransmits times; a message dropped every time is lost
 // and surfaces at the receiver as a deadline error.
 func (c *Comm) Send(dst, tag int, data []float64) {
+	c.world.heard(c.rank)
+	epoch := c.world.epoch.Load()
 	if dst == c.rank {
 		// self-sends are legal and common in broadcast loops
-		c.deliver(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
+		c.deliver(message{src: c.rank, tag: tag, epoch: epoch, data: append([]float64(nil), data...)})
+		return
+	}
+	if !c.world.Alive(dst) {
+		// A send to a dead rank vanishes, as it would on a real
+		// interconnect; leaving it enqueued would break the drained-mailbox
+		// reuse contract for a peer that will never Recv again.
 		return
 	}
 	if hook := c.world.hook; hook != nil {
@@ -222,7 +245,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	cntMsgsSent.Inc()
 	cntBytesSent.Add(int64(8 * len(data)))
 	c.world.logComm(c.rank, dst, true, tag, int64(8*len(data)))
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, epoch: epoch, data: append([]float64(nil), data...)})
 }
 
 func (c *Comm) deliver(m message) { c.world.boxes[c.rank].put(m) }
@@ -236,10 +259,14 @@ func (mb *mailbox) put(m message) {
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. It fails instead of blocking forever when the world
-// is poisoned by a rank failure or when the world's receive deadline passes.
-// Pending messages are always drained first, even on a poisoned world, so a
-// coordinated protocol whose messages are already in flight (the SPD
-// agreement allreduce) completes before the poison error surfaces.
+// is poisoned by a rank failure, when src is already marked dead, or when
+// the world's receive deadline passes — a timeout is diagnosed as the
+// death of the silent source and wraps a RankDeath, so recovery layers can
+// shrink the world instead of merely reporting a hang. Pending messages
+// are always drained first, even on a poisoned world, so a coordinated
+// protocol whose messages are already in flight (the SPD agreement
+// allreduce) completes before the poison error surfaces; messages stamped
+// with a previous membership epoch are discarded on sight.
 func (c *Comm) Recv(src, tag int) ([]float64, error) {
 	mb := c.world.boxes[c.rank]
 	var deadline time.Time
@@ -255,7 +282,15 @@ func (c *Comm) Recv(src, tag int) ([]float64, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		for i, m := range mb.pending {
+		epoch := c.world.epoch.Load()
+		for i := 0; i < len(mb.pending); i++ {
+			m := mb.pending[i]
+			if m.epoch != epoch {
+				// stale transmission from before a shrink: drop and rescan
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				i--
+				continue
+			}
 			if m.src == src && m.tag == tag {
 				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
 				if src != c.rank {
@@ -267,11 +302,16 @@ func (c *Comm) Recv(src, tag int) ([]float64, error) {
 				return m.data, nil
 			}
 		}
+		if !c.world.Alive(src) {
+			return nil, fmt.Errorf("mpi: rank %d: recv(src %d, tag %d): %w",
+				c.rank, src, tag, &RankDeath{Rank: src, Epoch: epoch})
+		}
 		if c.world.poisoned.Load() {
 			return nil, fmt.Errorf("mpi: rank %d: recv(src %d, tag %d) aborted: %w", c.rank, src, tag, c.world.Err())
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return nil, fmt.Errorf("mpi: rank %d: recv(src %d, tag %d) timed out after %v", c.rank, src, tag, c.world.recvTimeout)
+			return nil, fmt.Errorf("mpi: rank %d: recv(src %d, tag %d) timed out after %v: %w",
+				c.rank, src, tag, c.world.recvTimeout, &RankDeath{Rank: src, Epoch: epoch})
 		}
 		mb.cond.Wait()
 	}
@@ -291,56 +331,75 @@ func (c *Comm) Bcast(root, tag int, data []float64, ranks []int) ([]float64, err
 	return c.Recv(root, tag)
 }
 
-// AllreduceSum sums one value across all ranks (gather to rank 0, then
-// broadcast). It uses tag and tag+1; callers must leave both free.
+// AllreduceSum sums one value across the live ranks (gather to the lowest
+// live rank, then broadcast). It uses tag and tag+1; callers must leave
+// both free. On a full world the root is rank 0, exactly the historical
+// behavior; after a shrink the root moves to the lowest survivor.
 func (c *Comm) AllreduceSum(tag int, v float64) (float64, error) {
-	if c.rank == 0 {
-		total := v
-		for r := 1; r < c.Size(); r++ {
-			got, err := c.Recv(r, tag)
-			if err != nil {
-				return 0, err
-			}
-			total += got[0]
-		}
-		for r := 1; r < c.Size(); r++ {
-			c.Send(r, tag+1, []float64{total})
-		}
-		return total, nil
-	}
-	c.Send(0, tag, []float64{v})
-	got, err := c.Recv(0, tag+1)
+	out, err := c.allreduce(tag, []float64{v}, func(acc, got []float64) {
+		acc[0] += got[0]
+	})
 	if err != nil {
 		return 0, err
 	}
-	return got[0], nil
+	return out[0], nil
 }
 
-// AllreduceMax computes the maximum of one value across all ranks, with the
-// same tag discipline as AllreduceSum (tag and tag+1 are consumed).
+// AllreduceSumVec sums one vector elementwise across the live ranks, with
+// the same tag discipline as AllreduceSum. When each element has exactly
+// one non-zero contributor (per-tile partial results) the elementwise sum
+// is exact, so reducing a vector and summing it in a fixed element order
+// afterwards yields a result independent of how the tiles are distributed
+// — the property that keeps log-determinants and quadratic forms bitwise
+// stable across membership changes.
+func (c *Comm) AllreduceSumVec(tag int, v []float64) ([]float64, error) {
+	return c.allreduce(tag, append([]float64(nil), v...), func(acc, got []float64) {
+		for i := range acc {
+			acc[i] += got[i]
+		}
+	})
+}
+
+// AllreduceMax computes the maximum of one value across the live ranks,
+// with the same tag discipline as AllreduceSum (tag and tag+1 consumed).
 func (c *Comm) AllreduceMax(tag int, v float64) (float64, error) {
-	if c.rank == 0 {
-		best := v
-		for r := 1; r < c.Size(); r++ {
-			got, err := c.Recv(r, tag)
-			if err != nil {
-				return 0, err
-			}
-			if got[0] > best {
-				best = got[0]
-			}
+	out, err := c.allreduce(tag, []float64{v}, func(acc, got []float64) {
+		if got[0] > acc[0] {
+			acc[0] = got[0]
 		}
-		for r := 1; r < c.Size(); r++ {
-			c.Send(r, tag+1, []float64{best})
-		}
-		return best, nil
-	}
-	c.Send(0, tag, []float64{v})
-	got, err := c.Recv(0, tag+1)
+	})
 	if err != nil {
 		return 0, err
 	}
-	return got[0], nil
+	return out[0], nil
+}
+
+// allreduce gathers every live rank's contribution at the lowest live rank,
+// combines in ascending rank order, and broadcasts the result back. acc is
+// combined in place.
+func (c *Comm) allreduce(tag int, acc []float64, combine func(acc, got []float64)) ([]float64, error) {
+	ranks := c.AliveRanks()
+	root := ranks[0]
+	if c.rank == root {
+		for _, r := range ranks {
+			if r == root {
+				continue
+			}
+			got, err := c.Recv(r, tag)
+			if err != nil {
+				return nil, err
+			}
+			combine(acc, got)
+		}
+		for _, r := range ranks {
+			if r != root {
+				c.Send(r, tag+1, acc)
+			}
+		}
+		return acc, nil
+	}
+	c.Send(root, tag, acc)
+	return c.Recv(root, tag+1)
 }
 
 // Barrier synchronizes all ranks (counter on rank 0).
@@ -376,17 +435,26 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
+		if !w.alive[r].Load() {
+			continue // shrunken world: no goroutine for a dead rank
+		}
 		r := r
+		w.heard(r)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
+					// A panic is the death of this rank: the poison error
+					// carries the rank's identity and the failure epoch so
+					// survivors (whose Recvs all fail with it) can tell
+					// exactly which peer to shrink away.
+					death := &RankDeath{Rank: r, Epoch: w.epoch.Load()}
 					var err error
 					if e, ok := rec.(error); ok {
-						err = fmt.Errorf("mpi: rank %d panicked: %w", r, e)
+						err = fmt.Errorf("mpi: rank %d panicked: %w (%w)", r, e, death)
 					} else {
-						err = fmt.Errorf("mpi: rank %d panicked: %v", r, rec)
+						err = fmt.Errorf("mpi: rank %d panicked: %v (%w)", r, rec, death)
 					}
 					errs[r] = err
 					w.poison(err)

@@ -36,6 +36,7 @@ const (
 	kindFwdB              // forward-solve solved-block broadcast
 	kindBwd               // backward-solve partial contributions
 	kindBwdB              // backward-solve solved-block broadcast
+	kindMember            // membership allreduce (epoch-tagged; uses k = 0 and k = 1)
 	kindLast              // sentinel: first unused kind
 )
 

@@ -195,6 +195,11 @@ type Server struct {
 	models map[string]*model
 	closed bool
 
+	// draining flips when graceful shutdown begins (BeginShutdown), before
+	// the listener stops accepting: readyz turns 503 so load balancers pull
+	// the instance out of rotation while in-flight requests finish.
+	draining atomic.Bool
+
 	endpoints []string // instrumented endpoint names, for /metrics
 }
 
@@ -226,8 +231,39 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /v1/healthz", healthz)
 	s.mux.HandleFunc("GET /healthz", healthz)
+	readyz := func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	}
+	s.mux.HandleFunc("GET /v1/readyz", readyz)
+	s.mux.HandleFunc("GET /readyz", readyz)
 	return s
 }
+
+// Ready reports whether the registry is accepting work: true from New until
+// BeginShutdown or Close. Distinct from liveness — a draining server is
+// still alive (healthz 200) but not ready (readyz 503), the split
+// orchestrators need to stop routing to an instance without restarting it.
+func (s *Server) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.closed
+}
+
+// BeginShutdown marks the server draining: readyz flips to 503 immediately
+// while every other endpoint keeps serving. Call it before stopping the
+// listener (http.Server.Shutdown) so load balancers see the instance
+// not-ready and drain traffic ahead of the close. Idempotent; Close implies
+// it.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -237,6 +273,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // of executed — shutdown waits only for the solves already running, never
 // for the backlog.
 func (s *Server) Close() {
+	s.BeginShutdown()
 	s.mu.Lock()
 	s.closed = true
 	models := make([]*model, 0, len(s.models))

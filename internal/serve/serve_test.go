@@ -437,3 +437,37 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
 	}
 }
+
+// TestReadyzDrainsBeforeClose: readiness is distinct from liveness. A fresh
+// server is ready on both path forms; BeginShutdown flips readyz to 503
+// while healthz keeps reporting the process alive (so orchestrators stop
+// routing without restarting the instance); Close keeps it not-ready.
+func TestReadyzDrainsBeforeClose(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+	for _, path := range []string{"/readyz", "/v1/readyz"} {
+		if code, body := get(path); code != http.StatusOK || !strings.Contains(body, "ready") {
+			t.Fatalf("fresh server %s: %d %q", path, code, body)
+		}
+	}
+	s.BeginShutdown()
+	if s.Ready() {
+		t.Fatal("Ready() must be false after BeginShutdown")
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining readyz: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("draining healthz must stay 200, got %d", code)
+	}
+	s.BeginShutdown() // idempotent
+	s.Close()
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("closed readyz: %d", code)
+	}
+}
